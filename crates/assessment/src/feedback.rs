@@ -1,0 +1,249 @@
+//! The open-ended feedback corpus — §IV's participant quotes — with a
+//! small thematic-coding engine (keyword-rule tagging), the qualitative
+//! half of DHA's "quantitative and qualitative methodologies".
+
+use serde::{Deserialize, Serialize};
+
+/// Which session a comment addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionRef {
+    /// Module A — OpenMP on the Raspberry Pi.
+    SharedMemory,
+    /// Module B — MPI / distributed.
+    DistributedMemory,
+    /// The workshop format itself.
+    Format,
+}
+
+/// A qualitative theme, as a coder would tag it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Theme {
+    /// The tangible/manipulative value of the Pi.
+    TactileLearning,
+    /// Materials ready to adopt in courses.
+    Adoptability,
+    /// Uniform environment across diverse student laptops.
+    ConsistentEnvironment,
+    /// Python/mpi4py lowering the barrier to MPI.
+    PythonAccessibility,
+    /// Difficulty or confusion.
+    Friction,
+    /// Remote-format social dynamics.
+    RemoteDynamics,
+}
+
+/// One participant comment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Comment {
+    /// The quote (verbatim from §IV).
+    pub text: String,
+    /// Session it addresses.
+    pub session: SessionRef,
+}
+
+/// The corpus of quotes §IV reports.
+pub fn corpus() -> Vec<Comment> {
+    let q = |text: &str, session| Comment {
+        text: text.to_owned(),
+        session,
+    };
+    vec![
+        q(
+            "We can see — using the Pi — several key concepts demonstrated. The level of \
+             difficulty was well in the range of our students. After this day — I immediately \
+             saw where we can show and use the exercises in our class!!",
+            SessionRef::SharedMemory,
+        ),
+        q(
+            "The Raspberry Pi is physically compelling; it brings concepts home in a way that \
+             nothing else seems to do.",
+            SessionRef::SharedMemory,
+        ),
+        q(
+            "Having a consistent system makes life so much easier and allows for a consistent \
+             experience.",
+            SessionRef::SharedMemory,
+        ),
+        q(
+            "Having students connect to Zoom and separately connect to a remote server can be \
+             hard on some wireless connections.",
+            SessionRef::SharedMemory,
+        ),
+        q(
+            "It did show me that MPI can be used in Python; this makes Python somewhat viable \
+             as a parallel teaching tool.",
+            SessionRef::DistributedMemory,
+        ),
+        q(
+            "Although they seem difficult, the parallel programming basics are not difficult \
+             when introduced correctly.",
+            SessionRef::DistributedMemory,
+        ),
+        q(
+            "The platform switches seem to be a little confusing.",
+            SessionRef::DistributedMemory,
+        ),
+        q(
+            "I'm pretty quiet/shy in general and have telephone anxiety... I think I would \
+             have contributed more if we weren't trapped in the online format.",
+            SessionRef::Format,
+        ),
+        q(
+            "The level where the material was presented was perfect.",
+            SessionRef::Format,
+        ),
+        q(
+            "I got a lot of material and I feel quite prepared to offer a course on parallel \
+             computing this coming Fall.",
+            SessionRef::Format,
+        ),
+    ]
+}
+
+/// Keyword-rule tagger: which themes a comment exhibits.
+pub fn tag(comment: &Comment) -> Vec<Theme> {
+    let t = comment.text.to_lowercase();
+    let mut themes = Vec::new();
+    let mut add = |cond: bool, theme| {
+        if cond && !themes.contains(&theme) {
+            themes.push(theme);
+        }
+    };
+    add(
+        t.contains("physically")
+            || t.contains("brings concepts home")
+            || t.contains("we can see") && t.contains("pi"),
+        Theme::TactileLearning,
+    );
+    add(
+        t.contains("our class")
+            || t.contains("offer a course")
+            || t.contains("use the exercises")
+            || t.contains("teaching tool"),
+        Theme::Adoptability,
+    );
+    add(t.contains("consistent"), Theme::ConsistentEnvironment);
+    add(t.contains("python"), Theme::PythonAccessibility);
+    add(
+        t.contains("confusing")
+            || t.contains("hard on")
+            || t.contains("anxiety")
+            || t.contains("difficult,"),
+        Theme::Friction,
+    );
+    add(
+        t.contains("online format") || t.contains("zoom") || t.contains("shy"),
+        Theme::RemoteDynamics,
+    );
+    themes.sort();
+    themes
+}
+
+/// Theme frequency over the corpus, sorted descending.
+pub fn theme_counts(comments: &[Comment]) -> Vec<(Theme, usize)> {
+    let mut counts: Vec<(Theme, usize)> = Vec::new();
+    for c in comments {
+        for theme in tag(c) {
+            match counts.iter_mut().find(|(t, _)| *t == theme) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((theme, 1)),
+            }
+        }
+    }
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_both_modules_and_the_format() {
+        let c = corpus();
+        assert!(c.len() >= 10);
+        assert!(c.iter().any(|x| x.session == SessionRef::SharedMemory));
+        assert!(c.iter().any(|x| x.session == SessionRef::DistributedMemory));
+        assert!(c.iter().any(|x| x.session == SessionRef::Format));
+    }
+
+    #[test]
+    fn tactile_quote_tagged() {
+        let c = corpus();
+        let pi_quote = c
+            .iter()
+            .find(|x| x.text.contains("physically compelling"))
+            .unwrap();
+        assert!(tag(pi_quote).contains(&Theme::TactileLearning));
+    }
+
+    #[test]
+    fn python_quote_tagged() {
+        let c = corpus();
+        let q = c
+            .iter()
+            .find(|x| x.text.contains("MPI can be used in Python"))
+            .unwrap();
+        let themes = tag(q);
+        assert!(themes.contains(&Theme::PythonAccessibility));
+        assert!(
+            themes.contains(&Theme::Adoptability),
+            "teaching-tool intent"
+        );
+    }
+
+    #[test]
+    fn friction_quotes_tagged() {
+        let c = corpus();
+        let confusing = c.iter().find(|x| x.text.contains("confusing")).unwrap();
+        assert!(tag(confusing).contains(&Theme::Friction));
+        let shy = c
+            .iter()
+            .find(|x| x.text.contains("telephone anxiety"))
+            .unwrap();
+        let t = tag(shy);
+        assert!(t.contains(&Theme::Friction));
+        assert!(t.contains(&Theme::RemoteDynamics));
+    }
+
+    #[test]
+    fn counts_are_sorted_and_complete() {
+        let counts = theme_counts(&corpus());
+        assert!(!counts.is_empty());
+        for w in counts.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The positive themes dominate the §IV narrative.
+        let total_positive: usize = counts
+            .iter()
+            .filter(|(t, _)| {
+                matches!(
+                    t,
+                    Theme::TactileLearning
+                        | Theme::Adoptability
+                        | Theme::ConsistentEnvironment
+                        | Theme::PythonAccessibility
+                )
+            })
+            .map(|(_, n)| n)
+            .sum();
+        let total_friction: usize = counts
+            .iter()
+            .filter(|(t, _)| matches!(t, Theme::Friction))
+            .map(|(_, n)| n)
+            .sum();
+        assert!(total_positive > total_friction);
+    }
+
+    #[test]
+    fn tagging_is_deterministic_and_sorted() {
+        for c in corpus() {
+            let a = tag(&c);
+            let b = tag(&c);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort();
+            assert_eq!(a, sorted);
+        }
+    }
+}

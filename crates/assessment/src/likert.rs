@@ -1,0 +1,187 @@
+//! Likert scales and validated response vectors.
+
+use pdc_stats::describe::{mean, round_to};
+use serde::{Deserialize, Serialize};
+
+/// A 5-point Likert scale with its category labels (1 → first label).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LikertScale {
+    /// What the question measures (shown in reports).
+    pub measures: String,
+    /// Labels for 1..=5.
+    pub labels: [String; 5],
+}
+
+impl LikertScale {
+    fn with(measures: &str, labels: [&str; 5]) -> Self {
+        Self {
+            measures: measures.to_owned(),
+            labels: labels.map(str::to_owned),
+        }
+    }
+
+    /// Table II's usefulness scale: "1 is 'not at all useful', 5 is
+    /// 'extremely useful'".
+    pub fn usefulness() -> Self {
+        Self::with(
+            "usefulness",
+            [
+                "not at all useful",
+                "slightly useful",
+                "moderately useful",
+                "very useful",
+                "extremely useful",
+            ],
+        )
+    }
+
+    /// Figure 3's confidence scale.
+    pub fn confidence() -> Self {
+        Self::with(
+            "confidence",
+            ["not at all", "slightly", "moderately", "very", "extremely"],
+        )
+    }
+
+    /// Figure 4's preparedness scale.
+    pub fn preparedness() -> Self {
+        Self::with(
+            "preparedness",
+            [
+                "not at all",
+                "a little bit",
+                "somewhat",
+                "quite a bit",
+                "very much",
+            ],
+        )
+    }
+
+    /// Label for a response value.
+    pub fn label(&self, value: u8) -> Option<&str> {
+        if (1..=5).contains(&value) {
+            Some(&self.labels[value as usize - 1])
+        } else {
+            None
+        }
+    }
+}
+
+/// A validated vector of 1..=5 responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LikertVector(Vec<u8>);
+
+impl LikertVector {
+    /// Validate and wrap raw responses.
+    pub fn new(values: Vec<u8>) -> Result<Self, String> {
+        if let Some(bad) = values.iter().find(|&&v| !(1..=5).contains(&v)) {
+            return Err(format!("Likert response {bad} outside 1..=5"));
+        }
+        Ok(Self(values))
+    }
+
+    /// Build from bin counts `[n1, n2, n3, n4, n5]` (ascending values).
+    pub fn from_counts(counts: [usize; 5]) -> Self {
+        let mut v = Vec::with_capacity(counts.iter().sum());
+        for (i, &c) in counts.iter().enumerate() {
+            v.extend(std::iter::repeat_n(i as u8 + 1, c));
+        }
+        Self(v)
+    }
+
+    /// Responses as a slice.
+    pub fn values(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Responses as f64s (for the stats crate).
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.0.iter().map(|&v| v as f64).collect()
+    }
+
+    /// Responses as i64s (for histograms).
+    pub fn as_i64(&self) -> Vec<i64> {
+        self.0.iter().map(|&v| v as i64).collect()
+    }
+
+    /// Bin counts `[n1..n5]`.
+    pub fn counts(&self) -> [usize; 5] {
+        let mut c = [0usize; 5];
+        for &v in &self.0 {
+            c[v as usize - 1] += 1;
+        }
+        c
+    }
+
+    /// Number of responses.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Mean rounded to 2 decimals — the paper's reporting precision.
+    pub fn reported_mean(&self) -> f64 {
+        round_to(mean(&self.as_f64()).expect("non-empty"), 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_have_five_labels() {
+        for s in [
+            LikertScale::usefulness(),
+            LikertScale::confidence(),
+            LikertScale::preparedness(),
+        ] {
+            assert_eq!(s.labels.len(), 5);
+            assert_eq!(s.label(1).unwrap(), s.labels[0]);
+            assert_eq!(s.label(5).unwrap(), s.labels[4]);
+            assert!(s.label(0).is_none());
+            assert!(s.label(6).is_none());
+        }
+    }
+
+    #[test]
+    fn preparedness_labels_match_figure4_axis() {
+        let s = LikertScale::preparedness();
+        assert_eq!(
+            s.labels,
+            [
+                "not at all",
+                "a little bit",
+                "somewhat",
+                "quite a bit",
+                "very much"
+            ]
+        );
+    }
+
+    #[test]
+    fn vector_validation() {
+        assert!(LikertVector::new(vec![1, 3, 5]).is_ok());
+        assert!(LikertVector::new(vec![0]).is_err());
+        assert!(LikertVector::new(vec![6]).is_err());
+    }
+
+    #[test]
+    fn counts_round_trip() {
+        let counts = [1, 8, 8, 4, 1];
+        let v = LikertVector::from_counts(counts);
+        assert_eq!(v.len(), 22);
+        assert_eq!(v.counts(), counts);
+    }
+
+    #[test]
+    fn reported_mean_rounds_like_the_paper() {
+        // 13 fives + 8 fours + 1 three: mean 4.5454… → 4.55 (Table II).
+        let v = LikertVector::from_counts([0, 0, 1, 8, 13]);
+        assert_eq!(v.reported_mean(), 4.55);
+    }
+}

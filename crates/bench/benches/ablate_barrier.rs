@@ -1,0 +1,46 @@
+//! Ablation: spinning (sense-reversing) vs. blocking (condvar) barriers.
+//!
+//! On an oversubscribed host the blocking barrier's sleep-based waiting
+//! is kind; with free cores the spin barrier's latency wins. The bench
+//! runs both at the host's natural size and oversubscribed.
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_shmem::sync::BarrierKind;
+use pdc_shmem::Team;
+
+fn barrier_phases(threads: usize, kind: BarrierKind, phases: usize) {
+    let team = Team::new(threads).with_barrier(kind);
+    team.parallel(|ctx| {
+        for _ in 0..phases {
+            ctx.barrier();
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "\nablate_barrier: host has {host} core(s); comparing at {host} and {} threads",
+        host * 4
+    );
+
+    for threads in [host, host * 4] {
+        let mut group = c.benchmark_group(format!("ablate/barrier/{threads}threads"));
+        for kind in [BarrierKind::Sense, BarrierKind::Blocking] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{kind:?}")),
+                &kind,
+                |b, &kind| b.iter(|| barrier_phases(threads, kind, 50)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

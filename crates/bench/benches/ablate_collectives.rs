@@ -1,0 +1,67 @@
+//! Ablation: linear vs. binomial-tree collective algorithms.
+//!
+//! O(P) root-centric messaging vs. O(log P) tree rounds, on broadcast
+//! and allreduce at 8 and 16 ranks.
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_mpc::{ops, CollectiveAlgo, World};
+
+fn bcast_chain(np: usize, algo: CollectiveAlgo) -> u64 {
+    let out = World::new(np).with_algo(algo).run(|comm| {
+        let mut v = 0u64;
+        for round in 0..8u64 {
+            v = comm
+                .bcast(0, (comm.rank() == 0).then_some(round * 7))
+                .unwrap();
+        }
+        v
+    });
+    out[0]
+}
+
+fn allreduce_chain(np: usize, algo: CollectiveAlgo) -> u64 {
+    let out = World::new(np).with_algo(algo).run(|comm| {
+        let mut acc = comm.rank() as u64;
+        for _ in 0..8 {
+            acc = comm.allreduce(acc, ops::sum).unwrap() % 1009;
+        }
+        acc
+    });
+    out[0]
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness: both algorithms compute identical values.
+    for np in [8usize, 16] {
+        assert_eq!(
+            bcast_chain(np, CollectiveAlgo::Linear),
+            bcast_chain(np, CollectiveAlgo::BinomialTree)
+        );
+        assert_eq!(
+            allreduce_chain(np, CollectiveAlgo::Linear),
+            allreduce_chain(np, CollectiveAlgo::BinomialTree)
+        );
+    }
+    println!("\nablate_collectives: linear and tree algorithms agree at np = 8, 16");
+
+    for (name, f) in [
+        ("bcast8", bcast_chain as fn(usize, CollectiveAlgo) -> u64),
+        ("allreduce8", allreduce_chain),
+    ] {
+        let mut group = c.benchmark_group(format!("ablate/collectives/{name}"));
+        for algo in [CollectiveAlgo::Linear, CollectiveAlgo::BinomialTree] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{algo:?}")),
+                &algo,
+                |b, &algo| b.iter(|| f(8, algo)),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

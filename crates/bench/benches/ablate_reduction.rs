@@ -1,0 +1,56 @@
+//! Ablation: the reduction pedagogy ladder, quantified.
+//!
+//! critical-per-update vs. atomic-CAS-per-update vs. private-accumulator
+//! reduction — the three *correct* rungs of Module A's race→fix ladder.
+//! (The racy rung is omitted here: benchmarking a wrong answer tells us
+//! nothing; its behaviour is pinned by tests instead.)
+
+use criterion::Criterion;
+use pdc_shmem::{parallel_reduce, reduce_with_atomic, reduce_with_critical, Schedule, Team};
+
+const N: usize = 20_000;
+
+fn bench(c: &mut Criterion) {
+    let team = Team::new(4);
+    // All three strategies agree (integer-valued f64 sums are exact).
+    let expected = (0..N).sum::<usize>() as f64;
+    assert_eq!(reduce_with_critical(&team, 0..N, |i| i as f64), expected);
+    assert_eq!(reduce_with_atomic(&team, 0..N, |i| i as f64), expected);
+    let reduced = parallel_reduce(
+        &team,
+        0..N,
+        Schedule::default(),
+        0.0,
+        |i| i as f64,
+        |a, b| a + b,
+    );
+    assert_eq!(reduced, expected);
+    println!("\nablate_reduction: {N} updates, 4 threads; all strategies agree = {expected}");
+
+    let mut group = c.benchmark_group("ablate/reduction");
+    group.bench_function("critical_per_update", |b| {
+        b.iter(|| reduce_with_critical(&team, 0..N, |i| i as f64))
+    });
+    group.bench_function("atomic_per_update", |b| {
+        b.iter(|| reduce_with_atomic(&team, 0..N, |i| i as f64))
+    });
+    group.bench_function("private_accumulators", |b| {
+        b.iter(|| {
+            parallel_reduce(
+                &team,
+                0..N,
+                Schedule::default(),
+                0.0,
+                |i| i as f64,
+                |a, b| a + b,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,45 @@
+//! Ablation: loop scheduling on the irregular drug-design workload.
+//!
+//! The pedagogy claims dynamic scheduling balances irregular iteration
+//! costs; this quantifies static vs. static,1 vs. dynamic vs. guided on
+//! ligand scoring (cost grows with ligand length × protein length).
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_exemplars::drugdesign::{self, DrugConfig};
+use pdc_shmem::{Schedule, Team};
+
+fn bench(c: &mut Criterion) {
+    let config = DrugConfig {
+        num_ligands: 48,
+        ..Default::default()
+    };
+    let team = Team::new(4);
+    let schedules = [
+        Schedule::Static { chunk: None },
+        Schedule::round_robin(),
+        Schedule::Dynamic { chunk: 1 },
+        Schedule::Guided { min_chunk: 2 },
+    ];
+    // Correctness first: all schedules agree.
+    let want = drugdesign::run_seq(&config);
+    for s in schedules {
+        assert_eq!(drugdesign::run_shmem(&config, &team, s), want, "{s:?}");
+    }
+    println!("\nablate_scheduling: drug design, 48 ligands, 4 threads; all schedules produce identical results");
+
+    let mut group = c.benchmark_group("ablate/scheduling");
+    for schedule in schedules {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(schedule.name()),
+            &schedule,
+            |b, &s| b.iter(|| drugdesign::run_shmem(&config, &team, s)),
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,60 @@
+//! Ablation: per-region thread spawning (scoped fork-join `Team`) vs. a
+//! persistent worker pool (`ThreadPool`).
+//!
+//! The platform model charges `thread_spawn_us` per rank per region;
+//! this bench measures the real cost on the host and shows what an
+//! OpenMP-style persistent team buys.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_shmem::pool::ThreadPool;
+use pdc_shmem::Team;
+
+const REGIONS: usize = 20;
+
+fn with_team(threads: usize, sink: &AtomicU64) {
+    let team = Team::new(threads);
+    for r in 0..REGIONS {
+        team.parallel(|ctx| {
+            sink.fetch_add((r + ctx.thread_num()) as u64, Ordering::Relaxed);
+        });
+    }
+}
+
+fn with_pool(pool: &ThreadPool, sink: &Arc<AtomicU64>) {
+    for r in 0..REGIONS {
+        let sink = Arc::clone(sink);
+        pool.region(move |id, _| {
+            sink.fetch_add((r + id) as u64, Ordering::Relaxed);
+        });
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\nablate_spawn: {REGIONS} tiny regions; scoped-spawn Team vs persistent ThreadPool");
+    for threads in [2usize, 4] {
+        let mut group = c.benchmark_group(format!("ablate/spawn/{threads}threads"));
+        let sink = AtomicU64::new(0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("team_spawn_per_region"),
+            &threads,
+            |b, &t| b.iter(|| with_team(t, &sink)),
+        );
+        let pool = ThreadPool::new(threads);
+        let sink = Arc::new(AtomicU64::new(0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter("persistent_pool"),
+            &threads,
+            |b, _| b.iter(|| with_pool(&pool, &sink)),
+        );
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,23 @@
+//! Figure 1 — the Runestone virtual module's race-conditions section.
+//!
+//! Prints the rendered section (video placeholder at 2:02, the Q-2
+//! multiple-choice question), then times module assembly and rendering.
+
+use criterion::Criterion;
+use pdc_core::module_a;
+
+fn bench(c: &mut Criterion) {
+    let view = module_a::render_figure1();
+    println!("\n{view}");
+    assert!(view.contains("2.3 Race Conditions"));
+    assert!(view.contains("What is a race condition?"));
+
+    c.bench_function("fig1/build_module", |b| b.iter(module_a::module));
+    c.bench_function("fig1/render_section", |b| b.iter(module_a::render_figure1));
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,27 @@
+//! Figure 2 — the Colab notebook's SPMD cell and its mpirun output.
+//!
+//! Prints the rendered fragment (four "Greetings from process i of 4 on
+//! d6ff4f902ed6" lines), then times full-notebook execution — i.e. all
+//! ten mpirun cells at np=4 on the message-passing runtime.
+
+use criterion::Criterion;
+use pdc_core::module_b;
+
+fn bench(c: &mut Criterion) {
+    let view = module_b::render_figure2();
+    println!("\n{view}");
+    for r in 0..4 {
+        assert!(view.contains(&format!("Greetings from process {r} of 4")));
+    }
+
+    c.bench_function("fig2/execute_full_notebook", |b| {
+        b.iter(module_b::executed_notebook)
+    });
+    c.bench_function("fig2/render_fragment", |b| b.iter(module_b::render_figure2));
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

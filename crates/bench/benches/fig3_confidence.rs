@@ -1,0 +1,29 @@
+//! Figure 3 — pre/post confidence histograms and the paired t-test
+//! (published: pre µ = 2.82, post µ = 3.59, p = 0.0004).
+
+use criterion::Criterion;
+use pdc_assessment::workshop::{Figure34, FIGURE3};
+use pdc_stats::ttest::paired_t_test;
+
+fn bench(c: &mut Criterion) {
+    let fig = Figure34::reconstruct(FIGURE3);
+    println!("\n{}", fig.render());
+    let t = fig.t_test();
+    assert!(t.mean_diff > 0.0);
+    assert!(t.p_two_sided < 0.01);
+
+    let pre: Vec<f64> = fig.reconstruction.pre.iter().map(|&v| v as f64).collect();
+    let post: Vec<f64> = fig.reconstruction.post.iter().map(|&v| v as f64).collect();
+    c.bench_function("fig3/paired_t_test_n22", |b| {
+        b.iter(|| paired_t_test(&pre, &post).unwrap())
+    });
+    c.bench_function("fig3/full_reconstruction", |b| {
+        b.iter(|| Figure34::reconstruct(FIGURE3))
+    });
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

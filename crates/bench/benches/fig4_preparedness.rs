@@ -1,0 +1,28 @@
+//! Figure 4 — pre/post preparedness histograms and the paired t-test
+//! (published: pre µ = 2.59, post µ = 3.77, p = 4.18e-08).
+
+use criterion::Criterion;
+use pdc_assessment::workshop::{Figure34, FIGURE4};
+use pdc_stats::dist::StudentT;
+
+fn bench(c: &mut Criterion) {
+    let fig = Figure34::reconstruct(FIGURE4);
+    println!("\n{}", fig.render());
+    let t = fig.t_test();
+    assert!(t.p_two_sided < 1e-5, "preparedness effect is very strong");
+
+    c.bench_function("fig4/full_reconstruction", |b| {
+        b.iter(|| Figure34::reconstruct(FIGURE4))
+    });
+    // The special-function stack under the p-value.
+    let dist = StudentT::new(21.0).unwrap();
+    c.bench_function("fig4/t_cdf_extreme_tail", |b| {
+        b.iter(|| dist.p_two_sided(8.5))
+    });
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,31 @@
+//! Module A's closing benchmarking study: OpenMP exemplars at 1–4
+//! threads — measured on the host, predicted on the Raspberry Pi 4 and
+//! (for contrast) the Colab VM.
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_core::study::{module_a_study, Scale};
+use pdc_exemplars::integration;
+use pdc_shmem::Team;
+
+fn bench(c: &mut Criterion) {
+    for study in module_a_study(Scale::Quick) {
+        println!("\n{}", study.render());
+    }
+
+    let mut group = c.benchmark_group("moduleA/integration");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let team = Team::new(t);
+            b.iter(|| {
+                integration::trapezoid_shmem(integration::pi_integrand, 0.0, 1.0, 100_000, &team)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,32 @@
+//! Module B's exemplar scalability: the forest fire and drug design over
+//! ranks — measured on the host, predicted on Colab (flat), the St. Olaf
+//! 64-core VM, and the Chameleon cluster.
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_core::study::{module_b_study, Scale};
+use pdc_exemplars::forestfire::{self, FireConfig};
+
+fn bench(c: &mut Criterion) {
+    for study in module_b_study(Scale::Quick) {
+        println!("\n{}", study.render());
+    }
+
+    let config = FireConfig {
+        size: 15,
+        trials: 4,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("moduleB/forest_fire_mpc");
+    for np in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(np), &np, |b, &np| {
+            b.iter(|| forestfire::run_mpc(&config, np))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

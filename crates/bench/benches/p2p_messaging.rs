@@ -1,0 +1,58 @@
+//! Ablation: point-to-point message paths — typed (serde/JSON) vs. raw
+//! bytes, and ping-pong latency vs. payload size.
+
+use bytes::Bytes;
+use criterion::{BenchmarkId, Criterion};
+use pdc_mpc::World;
+
+fn pingpong_typed(rounds: usize, payload: &[f64]) {
+    World::new(2).run(|comm| {
+        let peer = 1 - comm.rank();
+        for _ in 0..rounds {
+            if comm.rank() == 0 {
+                comm.send(peer, 0, &payload.to_vec()).unwrap();
+                let _: Vec<f64> = comm.recv(peer, 0).unwrap();
+            } else {
+                let v: Vec<f64> = comm.recv(peer, 0).unwrap();
+                comm.send(peer, 0, &v).unwrap();
+            }
+        }
+    });
+}
+
+fn pingpong_bytes(rounds: usize, payload: &Bytes) {
+    World::new(2).run(|comm| {
+        let peer = 1 - comm.rank();
+        for _ in 0..rounds {
+            if comm.rank() == 0 {
+                comm.send_bytes(peer, 0, payload.clone()).unwrap();
+                let _ = comm.recv_bytes(peer, 0).unwrap();
+            } else {
+                let (b, _) = comm.recv_bytes(peer, 0).unwrap();
+                comm.send_bytes(peer, 0, b).unwrap();
+            }
+        }
+    });
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\np2p_messaging: 2-rank ping-pong; typed (JSON) vs raw-bytes path");
+    let mut group = c.benchmark_group("p2p/pingpong");
+    for n in [16usize, 256, 4096] {
+        let payload: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("typed_f64s", n), &payload, |b, p| {
+            b.iter(|| pingpong_typed(8, p))
+        });
+        let raw = Bytes::from(vec![0u8; n * 8]);
+        group.bench_with_input(BenchmarkId::new("raw_bytes", n * 8), &raw, |b, p| {
+            b.iter(|| pingpong_bytes(8, p))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,100 @@
+//! The Algorithms-course injections, timed: parallel prefix scan and the
+//! two sorting algorithms (shared-memory merge sort, distributed
+//! odd-even transposition), against their sequential baselines.
+
+use criterion::{BenchmarkId, Criterion};
+use pdc_exemplars::sorting::{merge_sort, odd_even_sort, parallel_merge_sort};
+use pdc_shmem::scan::parallel_inclusive_scan;
+use pdc_shmem::Team;
+
+fn data(n: usize) -> Vec<u64> {
+    let mut seed = 0x5DEECE66Du64;
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed % 1_000_003
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    const N: usize = 20_000;
+    let input = data(N);
+
+    // Correctness before timing.
+    let mut want = input.clone();
+    merge_sort(&mut want);
+    let mut got = input.clone();
+    parallel_merge_sort(&Team::new(4), &mut got);
+    assert_eq!(got, want);
+    assert_eq!(odd_even_sort(&input[..1_000], 4), {
+        let mut w = input[..1_000].to_vec();
+        merge_sort(&mut w);
+        w
+    });
+    println!("\nparallel_algorithms: sort/scan implementations agree with sequential baselines");
+
+    let mut group = c.benchmark_group("algorithms/sort");
+    group.bench_function("merge_sort_seq", |b| {
+        b.iter(|| {
+            let mut v = input.clone();
+            merge_sort(&mut v);
+            v
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_merge_sort", threads),
+            &threads,
+            |b, &t| {
+                let team = Team::new(t);
+                b.iter(|| {
+                    let mut v = input.clone();
+                    parallel_merge_sort(&team, &mut v);
+                    v
+                })
+            },
+        );
+    }
+    group.bench_function("odd_even_np4_1k", |b| {
+        b.iter(|| odd_even_sort(&input[..1_000], 4))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("algorithms/scan");
+    group.bench_function("seq_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            input
+                .iter()
+                .map(|&x| {
+                    acc += x;
+                    acc
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_scan", threads),
+            &threads,
+            |b, &t| {
+                let team = Team::new(t);
+                b.iter(|| {
+                    let mut v = input.clone();
+                    parallel_inclusive_scan(&team, &mut v, |a, b| a + b);
+                    v
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

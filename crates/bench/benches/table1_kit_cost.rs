@@ -1,0 +1,30 @@
+//! Table I — the mailed Raspberry Pi kit's cost breakdown.
+//!
+//! Prints the table (the paper's rows, $100.66 total), then times the
+//! BOM arithmetic and a classroom-scale costing.
+
+use criterion::{black_box, Criterion};
+use pdc_pikit::Kit;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", Kit::table1().render_table());
+    println!(
+        "classroom of 22 (the workshop cohort): {}\n",
+        pdc_pikit::bom::format_dollars(Kit::table1().classroom_cents(22))
+    );
+    assert_eq!(Kit::table1().total_cents(), 10_066, "Table I total");
+
+    let kit = Kit::table1();
+    c.bench_function("table1/total_cents", |b| {
+        b.iter(|| black_box(&kit).total_cents())
+    });
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(&kit).render_table())
+    });
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,32 @@
+//! Table II — session-usefulness Likert means.
+//!
+//! Prints the reconstructed table (matching the paper's 4.55 / 4.45 /
+//! 4.38 / 4.29), then times the reconstruction solver.
+
+use criterion::{black_box, Criterion};
+use pdc_assessment::reconstruct::reconstruct_mean_vector;
+use pdc_assessment::workshop::TableII;
+
+fn bench(c: &mut Criterion) {
+    let table = TableII::reconstruct();
+    println!("\n{}", table.render());
+    for (row, (a, b)) in table.rows.iter().zip([(4.55, 4.45), (4.38, 4.29)]) {
+        assert_eq!(row.implementing.reported_mean(), a);
+        assert_eq!(row.development.reported_mean(), b);
+    }
+    println!(
+        "note: the MPI row's means require n = {} respondents (one skip)\n",
+        table.rows[1].implementing_n
+    );
+
+    c.bench_function("table2/reconstruct_mean_4.55", |b| {
+        b.iter(|| reconstruct_mean_vector(black_box(4.55), 22))
+    });
+    c.bench_function("table2/full_table", |b| b.iter(TableII::reconstruct));
+}
+
+fn main() {
+    let mut c = pdc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,35 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! reproduce            # print every experiment
+//! reproduce fig3       # print one
+//! reproduce --list     # list experiment ids
+//! ```
+
+use pdc_core::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for e in experiments::all() {
+                println!("{:14} {}", e.id, e.title);
+            }
+        }
+        Some(id) => match experiments::run(id) {
+            Some(output) => println!("{output}"),
+            None => {
+                eprintln!("unknown experiment '{id}'; try --list");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            for e in experiments::all() {
+                println!("================================================================");
+                println!("{} — {}", e.id, e.title);
+                println!("================================================================");
+                println!("{}", (e.run)());
+            }
+        }
+    }
+}

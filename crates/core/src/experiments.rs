@@ -1,0 +1,149 @@
+//! The per-experiment index: every table and figure of the paper as a
+//! named, runnable reproduction. The `reproduce` binary (pdc-bench) and
+//! EXPERIMENTS.md are generated from this registry.
+
+use pdc_pikit::Kit;
+
+use crate::study::{module_a_study, module_b_study, Scale};
+use crate::workshop::Workshop;
+use crate::{module_a, module_b};
+
+/// One reproducible experiment.
+pub struct Experiment {
+    /// Stable id (`table1`, `fig3`, `moduleA-study`, …).
+    pub id: &'static str,
+    /// What the paper shows there.
+    pub title: &'static str,
+    /// Reproduce it, returning the rendered artifact.
+    pub run: fn() -> String,
+}
+
+/// Every experiment, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Table I: approximate cost breakdown of the mailed Raspberry Pi kit",
+            run: || Kit::table1().render_table(),
+        },
+        Experiment {
+            id: "fig1",
+            title: "Figure 1: view of the Raspberry Pi virtual module (race-conditions section)",
+            run: module_a::render_figure1,
+        },
+        Experiment {
+            id: "fig2",
+            title: "Figure 2: view of the Colab notebook (SPMD patternlet + mpirun output)",
+            run: module_b::render_figure2,
+        },
+        Experiment {
+            id: "cohort",
+            title: "Section IV: workshop participant demographics",
+            run: || Workshop::july_2020().cohort.render_summary(),
+        },
+        Experiment {
+            id: "table2",
+            title: "Table II: session usefulness ratings (Likert means)",
+            run: || Workshop::july_2020().table2().render(),
+        },
+        Experiment {
+            id: "fig3",
+            title: "Figure 3: confidence implementing PDC, pre/post (paired t)",
+            run: || Workshop::july_2020().figure3().render(),
+        },
+        Experiment {
+            id: "fig4",
+            title: "Figure 4: preparedness to implement PDC, pre/post (paired t)",
+            run: || Workshop::july_2020().figure4().render(),
+        },
+        Experiment {
+            id: "feedback",
+            title: "Section IV: open-ended feedback, thematically coded",
+            run: || {
+                let corpus = pdc_assessment::feedback::corpus();
+                let mut out = String::from("Open-ended feedback themes (keyword-coded):\n");
+                for (theme, n) in pdc_assessment::feedback::theme_counts(&corpus) {
+                    out.push_str(&format!("  {theme:?}: {n}\n"));
+                }
+                out.push_str("\nQuotes:\n");
+                for c in &corpus {
+                    out.push_str(&format!("  [{:?}] \"{}\"\n", c.session, c.text));
+                }
+                out
+            },
+        },
+        Experiment {
+            id: "injection",
+            title: "Section I: curriculum-injection plan (PDC into existing courses)",
+            run: crate::injection::render,
+        },
+        Experiment {
+            id: "economics",
+            title: "Platform economics: dollars per unit speedup per seat",
+            run: crate::economics::render,
+        },
+        Experiment {
+            id: "moduleA-study",
+            title: "Module A closing benchmarking study (OpenMP exemplars, 1-4 threads)",
+            run: || {
+                module_a_study(Scale::Quick)
+                    .iter()
+                    .map(|s| s.render())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            },
+        },
+        Experiment {
+            id: "moduleB-study",
+            title: "Module B exemplar scalability (Colab vs 64-core VM vs Chameleon)",
+            run: || {
+                module_b_study(Scale::Quick)
+                    .iter()
+                    .map(|s| s.render())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            },
+        },
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str) -> Option<String> {
+    all().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table_and_figure() {
+        let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        for required in ["table1", "table2", "fig1", "fig2", "fig3", "fig4"] {
+            assert!(ids.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn ids_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|e| e.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn every_experiment_produces_output() {
+        for e in all() {
+            let out = (e.run)();
+            assert!(!out.trim().is_empty(), "{} rendered nothing", e.id);
+        }
+    }
+
+    #[test]
+    fn run_by_id() {
+        assert!(run("table1").unwrap().contains("$100.66"));
+        assert!(run("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! Curriculum injection: which PDC materials drop into which existing
+//! course.
+//!
+//! The paper's opening argument (§I): "One way to expose every CS major
+//! to PDC is to inject PDC topics into existing core CS courses" — a
+//! Computer Organization course covers multicore architectures, an
+//! Algorithms course includes parallel sorting, a Programming Languages
+//! course covers message passing, and so on, with a "spiral" pedagogy
+//! revisiting topics in greater depth. This module is that mapping as
+//! data: each core course gets the patternlets, exemplars, and time
+//! budget that inject PDC into it, and the spiral checker verifies that
+//! key patterns recur across course levels.
+
+/// A core CS course PDC can be injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Course {
+    /// CS1 / introductory programming (level 1).
+    Cs1,
+    /// Data structures (level 2).
+    DataStructures,
+    /// Computer organization (level 2).
+    ComputerOrganization,
+    /// Algorithms (level 3).
+    Algorithms,
+    /// Programming languages (level 3).
+    ProgrammingLanguages,
+}
+
+impl Course {
+    /// Curriculum level (1 = first year), for the spiral check.
+    pub fn level(&self) -> u8 {
+        match self {
+            Course::Cs1 => 1,
+            Course::DataStructures | Course::ComputerOrganization => 2,
+            Course::Algorithms | Course::ProgrammingLanguages => 3,
+        }
+    }
+}
+
+/// One injectable unit: a lab-sized slice of PDC for one course.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// The hosting course.
+    pub course: Course,
+    /// What the unit teaches, in the host course's own terms.
+    pub rationale: &'static str,
+    /// Patternlet ids the unit runs.
+    pub patternlets: Vec<&'static str>,
+    /// Exemplar (by name) the unit closes with, if any.
+    pub exemplar: Option<&'static str>,
+    /// Class time the unit needs, minutes.
+    pub minutes: u32,
+}
+
+/// The injection catalog, following §I's course-by-course sketch.
+pub fn catalog() -> Vec<Injection> {
+    vec![
+        Injection {
+            course: Course::Cs1,
+            rationale: "Loops that split across workers: the first taste of SPMD thinking, \
+                        in Python-like message passing (the paper: mpi4py 'makes Python \
+                        somewhat viable as a parallel teaching tool').",
+            patternlets: vec!["mp.spmd", "mp.sendrecv", "mp.loop.chunks1"],
+            exemplar: Some("numerical integration"),
+            minutes: 50,
+        },
+        Injection {
+            course: Course::DataStructures,
+            rationale: "Shared structures break under concurrent mutation: the race \
+                        ladder motivates why structure invariants need protection.",
+            patternlets: vec!["sm.spmd", "sm.race", "sm.critical", "sm.atomic"],
+            exemplar: None,
+            minutes: 50,
+        },
+        Injection {
+            course: Course::ComputerOrganization,
+            rationale: "§I: 'a Computer Organization course should cover multicore \
+                        architectures' — cores, caches, and why oversubscription \
+                        doesn't speed anything up.",
+            patternlets: vec!["sm.spmd", "sm.forkjoin", "sm.barrier", "sm.loop.equal"],
+            exemplar: Some("numerical integration"),
+            minutes: 50,
+        },
+        Injection {
+            course: Course::Algorithms,
+            rationale: "§I: 'an Algorithms course could include parallel sorting \
+                        algorithms' — merge sort parallelizes; odd-even transposition \
+                        makes communication cost part of the analysis.",
+            patternlets: vec!["sm.reduction", "sm.ordered", "mp.scan"],
+            exemplar: Some("parallel sorting"),
+            minutes: 75,
+        },
+        Injection {
+            course: Course::ProgrammingLanguages,
+            rationale: "§I: message-passing primitives as language design — send/recv \
+                        ordering, deadlock as a protocol property.",
+            patternlets: vec![
+                "mp.sendrecv",
+                "mp.deadlock",
+                "mp.masterworker",
+                "mp.broadcast",
+            ],
+            exemplar: Some("drug design"),
+            minutes: 75,
+        },
+    ]
+}
+
+/// The spiral-pedagogy check (§I: topics "introduced early and revisited
+/// later in greater depth"): a pattern family spirals if it appears at
+/// two or more distinct course levels.
+pub fn spiral_families() -> Vec<(&'static str, Vec<u8>)> {
+    let prefix_family = |id: &str| -> &'static str {
+        if id.starts_with("sm.") {
+            "shared memory"
+        } else {
+            "message passing"
+        }
+    };
+    let mut families: Vec<(&'static str, Vec<u8>)> = Vec::new();
+    for inj in catalog() {
+        for p in &inj.patternlets {
+            let fam = prefix_family(p);
+            let entry = families.iter_mut().find(|(f, _)| *f == fam);
+            match entry {
+                Some((_, levels)) => {
+                    if !levels.contains(&inj.course.level()) {
+                        levels.push(inj.course.level());
+                    }
+                }
+                None => families.push((fam, vec![inj.course.level()])),
+            }
+        }
+    }
+    for (_, levels) in &mut families {
+        levels.sort_unstable();
+    }
+    families
+}
+
+/// Render the injection plan.
+pub fn render() -> String {
+    let mut out = String::from("Curriculum injection plan (per §I):\n\n");
+    for inj in catalog() {
+        out.push_str(&format!(
+            "{:?} ({} min): {}\n  patternlets: {}\n  exemplar: {}\n\n",
+            inj.course,
+            inj.minutes,
+            inj.rationale,
+            inj.patternlets.join(", "),
+            inj.exemplar.unwrap_or("—"),
+        ));
+    }
+    out.push_str("spiral check (family → course levels):\n");
+    for (fam, levels) in spiral_families() {
+        out.push_str(&format!("  {fam}: levels {levels:?}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_patternlets::registry;
+
+    #[test]
+    fn every_referenced_patternlet_exists_and_runs() {
+        for inj in catalog() {
+            for id in &inj.patternlets {
+                let p = registry::find(id).unwrap_or_else(|| panic!("{id} missing"));
+                assert!(!p.run(2).lines.is_empty(), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_covers_the_papers_course_list() {
+        let courses: Vec<Course> = catalog().iter().map(|i| i.course).collect();
+        for c in [
+            Course::Cs1,
+            Course::DataStructures,
+            Course::ComputerOrganization,
+            Course::Algorithms,
+            Course::ProgrammingLanguages,
+        ] {
+            assert!(courses.contains(&c), "{c:?} has no injection");
+        }
+    }
+
+    #[test]
+    fn units_fit_in_a_lab_period() {
+        // §I's point (iv): no new courses; each unit must fit one or at
+        // most one-and-a-half standard lab periods.
+        for inj in catalog() {
+            assert!(inj.minutes <= 90, "{:?} too long", inj.course);
+            assert!(inj.minutes >= 30, "{:?} too thin", inj.course);
+        }
+    }
+
+    #[test]
+    fn both_paradigms_spiral_across_levels() {
+        // §I's point (iii): the spiral — both families must recur at 2+
+        // distinct levels.
+        for (fam, levels) in spiral_families() {
+            assert!(levels.len() >= 2, "{fam} appears only at levels {levels:?}");
+        }
+    }
+
+    #[test]
+    fn early_courses_use_message_passing_python_style() {
+        // The paper: mpi4py makes MPI "accessible to even first-year
+        // students" — CS1's injection must be message-passing-first.
+        let cs1 = catalog()
+            .into_iter()
+            .find(|i| i.course == Course::Cs1)
+            .unwrap();
+        assert!(cs1.patternlets.iter().all(|p| p.starts_with("mp.")));
+    }
+
+    #[test]
+    fn render_lists_all_courses() {
+        let text = render();
+        for needle in [
+            "Cs1",
+            "Algorithms",
+            "spiral check",
+            "shared memory",
+            "message passing",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # pdc-core
+//!
+//! The top of the workspace: the paper's actual deliverables, assembled
+//! from every substrate crate.
+//!
+//! * [`module_a`] — **Module A**, the shared-memory module: the Runestone
+//!   virtual handout ("Raspberry Pi - Virtual Handout") with its setup
+//!   chapter, concept sections (including the §2.3 race-conditions
+//!   section shown in the paper's Figure 1), the hands-on patternlet
+//!   exercise, and the closing exemplars.
+//! * [`module_b`] — **Module B**, the distributed-memory module: the
+//!   Colab notebook of mpi4py patternlets (Figure 2 is its SPMD cell),
+//!   plus the second-hour exemplar session on a chosen cluster platform.
+//! * [`study`] — the benchmarking studies both modules end with:
+//!   real measured timings on the reproduction host plus model-predicted
+//!   speedup on the paper's platforms (Pi, Colab, St. Olaf, Chameleon).
+//! * [`workshop`] — the July-2020 faculty-development workshop: sessions,
+//!   cohort, and the DHA survey results (Table II, Figures 3–4).
+//! * [`experiments`] — the per-experiment index: every table and figure
+//!   of the paper as a named, runnable reproduction.
+//!
+//! ```no_run
+//! // Regenerate the paper's Figure 2 (Colab SPMD cell + its output):
+//! println!("{}", pdc_core::experiments::run("fig2").unwrap());
+//! ```
+
+pub mod economics;
+pub mod experiments;
+pub mod injection;
+pub mod module_a;
+pub mod module_b;
+pub mod simulate;
+pub mod study;
+pub mod workshop;
+
+pub use workshop::Workshop;

@@ -1,0 +1,386 @@
+//! Module A: "OpenMP on the Raspberry Pi" — the Runestone virtual
+//! handout (paper reference [13], §III-A).
+//!
+//! Structure follows the paper's description: a self-paced 2-hour module
+//! whose "first half hour presents an overview of processes, threads and
+//! multicore systems, and gives a short introduction to the OpenMP
+//! patternlets. During the next hour, learners work through a hands-on
+//! exercise … The last half hour examines two OpenMP exemplars: numerical
+//! integration and drug design."
+
+use pdc_courseware::activity::{Activity, Choice, DragAndDrop, FillInBlank, MultipleChoice};
+use pdc_courseware::module::{Block, Chapter, Module, Section, Video};
+use pdc_courseware::render;
+use pdc_patternlets::registry;
+
+fn listing_block(patternlet_id: &str) -> Block {
+    let p = registry::find(patternlet_id)
+        .unwrap_or_else(|| panic!("unknown patternlet {patternlet_id}"));
+    Block::Code {
+        language: "c".into(),
+        listing: p.source.to_owned(),
+        patternlet_id: Some(p.id.to_owned()),
+    }
+}
+
+/// The full Module A virtual handout.
+pub fn module() -> Module {
+    Module {
+        title: "Raspberry Pi - Virtual Handout: Multicore Computing with OpenMP".into(),
+        duration_min: 120,
+        chapters: vec![
+            setup_chapter(),
+            concepts_chapter(),
+            exercise_chapter(),
+            exemplars_chapter(),
+        ],
+    }
+}
+
+fn setup_chapter() -> Chapter {
+    Chapter {
+        number: 1,
+        title: "Setting up your Raspberry Pi".into(),
+        sections: vec![
+            Section {
+                number: "1.1".into(),
+                title: "Your kit and the system image".into(),
+                blocks: vec![
+                    Block::Text(
+                        "Your mailed kit contains a Raspberry Pi 4, power supply, Ethernet \
+                         cable and dongles, and a 16 GB microSD card. Burn the csip-image \
+                         onto the microSD card, insert it, and connect the Pi to your laptop \
+                         with the Ethernet cable."
+                            .into(),
+                    ),
+                    Block::Video(Video {
+                        title: "Unboxing and assembling your kit".into(),
+                        duration_s: 263,
+                    }),
+                    Block::Video(Video {
+                        title: "Flashing the csip image and first boot".into(),
+                        duration_s: 418,
+                    }),
+                    Block::Activity(Activity::FillInBlank(FillInBlank {
+                        id: "setup_fib_1".into(),
+                        prompt: "The Pi uses your laptop for its display over an ___ connection."
+                            .into(),
+                        accepted: vec!["ethernet".into(), "Ethernet".into()],
+                        case_sensitive: false,
+                    })),
+                ],
+            },
+            Section {
+                number: "1.2".into(),
+                title: "Troubleshooting common issues".into(),
+                blocks: vec![
+                    Block::Text(
+                        "If VNC shows a black screen, re-check that the image finished \
+                         flashing; if ssh is refused, confirm the Pi finished booting \
+                         (the green LED stops blinking)."
+                            .into(),
+                    ),
+                    Block::Video(Video {
+                        title: "Common setup problems and fixes".into(),
+                        duration_s: 347,
+                    }),
+                ],
+            },
+        ],
+    }
+}
+
+fn concepts_chapter() -> Chapter {
+    Chapter {
+        number: 2,
+        title: "Processes, threads, and shared memory".into(),
+        sections: vec![
+            Section {
+                number: "2.1".into(),
+                title: "Multicore systems".into(),
+                blocks: vec![
+                    Block::Text(
+                        "Your Raspberry Pi's CPU has four cores: four independent units \
+                         that can each execute a stream of instructions. A process's \
+                         threads share its memory, which is what makes multicore \
+                         programming both powerful and dangerous."
+                            .into(),
+                    ),
+                    Block::Video(Video {
+                        title: "Processes, threads, and cores".into(),
+                        duration_s: 295,
+                    }),
+                    Block::Activity(Activity::MultipleChoice(MultipleChoice {
+                        id: "sp_mc_1".into(),
+                        prompt: "How many cores does the Raspberry Pi 4 in your kit have?"
+                            .into(),
+                        choices: vec![
+                            Choice { label: "A".into(), text: "1".into(), feedback: "That was true of the original Pi; yours has more.".into() },
+                            Choice { label: "B".into(), text: "2".into(), feedback: "More than that!".into() },
+                            Choice { label: "C".into(), text: "4".into(), feedback: "Correct!".into() },
+                            Choice { label: "D".into(), text: "8".into(), feedback: "Not quite that many.".into() },
+                        ],
+                        correct: 2,
+                    })),
+                ],
+            },
+            Section {
+                number: "2.2".into(),
+                title: "Fork-join and SPMD".into(),
+                blocks: vec![
+                    Block::Text(
+                        "OpenMP's core idea: a parallel region forks a team of threads \
+                         that all run the same block (single program, multiple data), \
+                         then joins them."
+                            .into(),
+                    ),
+                    listing_block("sm.spmd"),
+                    listing_block("sm.forkjoin"),
+                    Block::Activity(Activity::DragAndDrop(DragAndDrop {
+                        id: "sp_dnd_1".into(),
+                        prompt: "Match each OpenMP concept to its meaning".into(),
+                        pairs: vec![
+                            ("fork".into(), "create the thread team at a parallel region".into()),
+                            ("join".into(), "wait for the team at the region's end".into()),
+                            ("SPMD".into(), "all threads run the same program text".into()),
+                        ],
+                    })),
+                ],
+            },
+            race_conditions_section(),
+            Section {
+                number: "2.4".into(),
+                title: "Fixing races: critical, atomic, reduction".into(),
+                blocks: vec![
+                    Block::Text(
+                        "Three fixes, in increasing order of scalability: protect the \
+                         update (critical), make it indivisible (atomic), or give every \
+                         thread a private copy and combine at the end (reduction)."
+                            .into(),
+                    ),
+                    listing_block("sm.critical"),
+                    listing_block("sm.atomic"),
+                    listing_block("sm.reduction"),
+                    Block::Activity(Activity::MultipleChoice(MultipleChoice {
+                        id: "sp_mc_3".into(),
+                        prompt: "Which fix scales best when every iteration updates the shared variable?".into(),
+                        choices: vec![
+                            Choice { label: "A".into(), text: "critical".into(), feedback: "Correct but fully serialized — look further down the ladder.".into() },
+                            Choice { label: "B".into(), text: "atomic".into(), feedback: "Cheaper than critical, but still one contended location.".into() },
+                            Choice { label: "C".into(), text: "reduction".into(), feedback: "Correct! Private copies touch shared state only once per thread.".into() },
+                        ],
+                        correct: 2,
+                    })),
+                ],
+            },
+        ],
+    }
+}
+
+/// The section the paper's **Figure 1** shows: "2.3 Race Conditions",
+/// with the explanatory video (2:02 long, shown paused at 1:05) and the
+/// multiple-choice check `sp_mc_2`.
+pub fn race_conditions_section() -> Section {
+    Section {
+        number: "2.3".into(),
+        title: "Race Conditions".into(),
+        blocks: vec![
+            Block::Text("The following video will help you understand what is going on:".into()),
+            Block::Video(Video {
+                title: "Race conditions".into(),
+                duration_s: 122,
+            }),
+            listing_block("sm.race"),
+            Block::Text("Try and answer the following question:".into()),
+            Block::Activity(Activity::MultipleChoice(MultipleChoice {
+                id: "sp_mc_2".into(),
+                prompt: "What is a race condition?".into(),
+                choices: vec![
+                    Choice {
+                        label: "A".into(),
+                        text: "It is the smallest set of instructions that must execute sequentially to ensure correctness.".into(),
+                        feedback: "That describes what a critical section protects, not the race itself.".into(),
+                    },
+                    Choice {
+                        label: "B".into(),
+                        text: "It is a mechanism that helps protect a resource.".into(),
+                        feedback: "That is mutual exclusion — the fix, not the problem.".into(),
+                    },
+                    Choice {
+                        label: "C".into(),
+                        text: "It is something that arises when two or more threads attempt to modify a shared variable at the same time.".into(),
+                        feedback: "Correct!".into(),
+                    },
+                ],
+                correct: 2,
+            })),
+        ],
+    }
+}
+
+fn exercise_chapter() -> Chapter {
+    // The hands-on hour: learners run every patternlet themselves.
+    let sections = vec![Section {
+        number: "3.1".into(),
+        title: "Hands-on: run the patternlets".into(),
+        blocks: {
+            let mut blocks = vec![Block::Text(
+                "Work through each patternlet at your own pace: read the listing, \
+                 predict the output, run it on your Pi with 1, 2, and 4 threads, \
+                 and explain any difference."
+                    .into(),
+            )];
+            for id in [
+                "sm.barrier",
+                "sm.master",
+                "sm.single",
+                "sm.sections",
+                "sm.loop.equal",
+                "sm.loop.chunks1",
+                "sm.loop.dynamic",
+                "sm.ordered",
+                "sm.private",
+                "sm.locks",
+                "sm.reduction.max",
+            ] {
+                blocks.push(listing_block(id));
+            }
+            blocks
+        },
+    }];
+    Chapter {
+        number: 3,
+        title: "Hands-on exercise".into(),
+        sections,
+    }
+}
+
+fn exemplars_chapter() -> Chapter {
+    Chapter {
+        number: 4,
+        title: "Exemplars and a small benchmarking study".into(),
+        sections: vec![Section {
+            number: "4.1".into(),
+            title: "Numerical integration and drug design".into(),
+            blocks: vec![
+                Block::Text(
+                    "Run the two exemplars with 1–4 threads, record the times, and \
+                     compute the speedup. Which one scales better, and why? \
+                     (Hint: compare how evenly their work divides.)"
+                        .into(),
+                ),
+                Block::Code {
+                    language: "c".into(),
+                    listing: "area = trapezoid(f, 0.0, 1.0, n);   // reduction over samples".into(),
+                    patternlet_id: None,
+                },
+                Block::Code {
+                    language: "c".into(),
+                    listing: "best = score_ligands(pop, protein);  // irregular task sizes".into(),
+                    patternlet_id: None,
+                },
+                Block::Activity(Activity::FillInBlank(FillInBlank {
+                    id: "ex_fib_1".into(),
+                    prompt: "On the Pi's 4 cores, the maximum possible speedup of a perfectly parallel program is ___.".into(),
+                    accepted: vec!["4".into(), "four".into(), "4x".into()],
+                    case_sensitive: false,
+                })),
+            ],
+        }],
+    }
+}
+
+/// Render the Figure-1 view: the race-conditions section as Runestone
+/// displays it.
+pub fn render_figure1() -> String {
+    render::render_section(&race_conditions_section())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_courseware::Gradebook;
+
+    #[test]
+    fn module_structure_matches_paper_timing() {
+        let m = module();
+        assert_eq!(m.duration_min, 120, "a standard 2-hour lab period");
+        assert_eq!(m.chapters.len(), 4);
+        assert!(m.video_seconds() > 0, "setup videos are load-bearing");
+    }
+
+    #[test]
+    fn figure1_section_is_2_3_race_conditions() {
+        let m = module();
+        let s = m.section("2.3").unwrap();
+        assert_eq!(s.title, "Race Conditions");
+        // The video in Figure 1 shows 2:02 total.
+        let has_202_video = s
+            .blocks
+            .iter()
+            .any(|b| matches!(b, Block::Video(v) if v.duration_label() == "2:02"));
+        assert!(has_202_video);
+    }
+
+    #[test]
+    fn figure1_render_matches_paper_content() {
+        let text = render_figure1();
+        assert!(text.contains("2.3 Race Conditions"));
+        assert!(text.contains("The following video will help you understand"));
+        assert!(text.contains("Try and answer the following question:"));
+        assert!(text.contains("What is a race condition?"));
+        assert!(text.contains("Activity: sp_mc_2"));
+        assert!(text.contains("0:00/2:02"));
+    }
+
+    #[test]
+    fn every_linked_patternlet_exists_and_runs() {
+        let m = module();
+        let ids = m.patternlet_ids();
+        assert!(ids.len() >= 14, "handout must exercise most of the catalog");
+        for id in ids {
+            let p = registry::find(id).unwrap_or_else(|| panic!("missing {id}"));
+            assert!(!p.run(4).lines.is_empty(), "{id} must run");
+        }
+    }
+
+    #[test]
+    fn all_linked_patternlets_are_shared_memory() {
+        let m = module();
+        for id in m.patternlet_ids() {
+            assert!(
+                id.starts_with("sm."),
+                "Module A must stay shared-memory: {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn race_mc_grades_correctly() {
+        let s = race_conditions_section();
+        let act = s
+            .blocks
+            .iter()
+            .find_map(|b| match b {
+                Block::Activity(a) => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        let mut gb = Gradebook::new();
+        assert!(!gb.attempt_mc("learner", act, 1).correct);
+        assert!(gb.attempt_mc("learner", act, 2).correct);
+        let rec = gb.record_for("learner", "sp_mc_2").unwrap();
+        assert_eq!(rec.attempts, 2);
+        assert!(rec.solved);
+    }
+
+    #[test]
+    fn module_has_interactive_activities_of_each_kind() {
+        let m = module();
+        let acts = m.activities();
+        let has = |f: fn(&Activity) -> bool| acts.iter().any(|a| f(a));
+        assert!(has(|a| matches!(a, Activity::MultipleChoice(_))));
+        assert!(has(|a| matches!(a, Activity::FillInBlank(_))));
+        assert!(has(|a| matches!(a, Activity::DragAndDrop(_))));
+    }
+}

@@ -1,0 +1,211 @@
+//! Module B: "MPI & Distributed Cluster Computing" — the Colab notebook
+//! of mpi4py patternlets (paper reference [14], §III-B; Figure 2) plus
+//! the second-hour exemplar session on a cluster platform.
+
+use pdc_courseware::notebook::{Notebook, NotebookRuntime};
+use pdc_courseware::render;
+use pdc_patternlets::registry;
+use pdc_platform::{presets, Platform, Topology};
+
+/// The files the notebook writes, in notebook order, with the patternlet
+/// each one executes as (mirroring the CSinParallel repository's naming).
+pub const NOTEBOOK_PROGRAMS: [(&str, &str, &str); 11] = [
+    ("00spmd.py", "mp.spmd", "Single Program, Multiple Data"),
+    (
+        "01spmd2.py",
+        "mp.ordered",
+        "Ordering output with a token relay",
+    ),
+    ("02sendrecv.py", "mp.sendrecv", "Send and receive"),
+    ("03ring.py", "mp.ring", "Passing data around a ring"),
+    (
+        "04exchange.py",
+        "mp.exchange",
+        "Pairwise exchange with Sendrecv",
+    ),
+    (
+        "05masterworker.py",
+        "mp.masterworker",
+        "The master-worker pattern",
+    ),
+    (
+        "06parallelloop_equal.py",
+        "mp.loop.equal",
+        "Parallel loop, equal chunks",
+    ),
+    (
+        "07parallelloop_chunks1.py",
+        "mp.loop.chunks1",
+        "Parallel loop, chunks of 1",
+    ),
+    ("08broadcast.py", "mp.broadcast", "Broadcast"),
+    (
+        "09reduce.py",
+        "mp.reduce",
+        "Reduction (and friends: scatter, gather)",
+    ),
+    (
+        "10scan.py",
+        "mp.scan",
+        "Scan: running totals across processes",
+    ),
+];
+
+/// Build the patternlets notebook (unexecuted).
+pub fn notebook() -> Notebook {
+    let mut nb = Notebook::new("mpi4py_patternlets.ipynb");
+    nb.push_markdown(
+        "# Distributed parallel programming patterns using mpi4py\n\
+         Work through each pattern: run the writefile cell, then the \
+         mpirun cell, and read the output carefully.",
+    );
+    for (file, id, heading) in NOTEBOOK_PROGRAMS {
+        let p = registry::find(id).unwrap_or_else(|| panic!("unknown patternlet {id}"));
+        nb.push_markdown(&format!("## {heading}\n{}", p.teaches));
+        nb.push_code(&format!("%%writefile {file}\n{}", p.source));
+        nb.push_code(&format!("!mpirun --allow-run-as-root -np 4 python {file}"));
+    }
+    nb
+}
+
+/// A runtime with every notebook file registered.
+pub fn runtime() -> NotebookRuntime {
+    let mut rt = NotebookRuntime::new();
+    for (file, id, _) in NOTEBOOK_PROGRAMS {
+        rt.register_file(file, id);
+    }
+    rt
+}
+
+/// Build + execute the notebook, returning it with outputs filled —
+/// what a learner sees after "Runtime → Run all".
+pub fn executed_notebook() -> Notebook {
+    let mut nb = notebook();
+    runtime().execute(&mut nb);
+    nb
+}
+
+/// Render the Figure-2 view: the notebook's SPMD fragment (markdown
+/// heading, `%%writefile 00spmd.py` cell, `mpirun -np 4` cell with its
+/// four greeting lines).
+pub fn render_figure2() -> String {
+    let nb = executed_notebook();
+    // Cells 0..=3: title markdown, SPMD heading, writefile, mpirun.
+    let fragment = Notebook {
+        title: nb.title.clone(),
+        cells: nb.cells[1..4].to_vec(),
+    };
+    render::render_notebook(&fragment)
+}
+
+/// The second hour's platform options (§III-B): Chameleon via Jupyter,
+/// or the St. Olaf 64-core VM via VNC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExemplarPlatform {
+    /// Jupyter notebook backed by a Chameleon Cloud cluster.
+    Chameleon,
+    /// VNC to the 64-core St. Olaf VM.
+    StOlafVm,
+    /// Stay on the Colab VM (concepts work; no speedup).
+    Colab,
+}
+
+impl ExemplarPlatform {
+    /// The platform model for this choice.
+    pub fn platform(&self) -> Platform {
+        match self {
+            ExemplarPlatform::Chameleon => presets::chameleon_cluster(),
+            ExemplarPlatform::StOlafVm => presets::stolaf_vm(),
+            ExemplarPlatform::Colab => presets::colab_vm(),
+        }
+    }
+
+    /// Rank→host topology for an `np`-process run.
+    pub fn topology(&self, np: usize) -> Topology {
+        let stem = match self {
+            ExemplarPlatform::Chameleon => "cham-node",
+            ExemplarPlatform::StOlafVm => "stolaf-vm",
+            ExemplarPlatform::Colab => "d6ff4f902ed6",
+        };
+        Topology::block(&self.platform(), np, stem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_courseware::notebook::Cell;
+
+    #[test]
+    fn notebook_has_a_cell_trio_per_patternlet() {
+        let nb = notebook();
+        // 1 title + 10 × (markdown, writefile, mpirun).
+        assert_eq!(nb.cells.len(), 1 + 3 * NOTEBOOK_PROGRAMS.len());
+    }
+
+    #[test]
+    fn executed_notebook_fills_every_mpirun_output() {
+        let nb = executed_notebook();
+        for (i, cell) in nb.cells.iter().enumerate() {
+            if let Cell::Code { source, outputs } = cell {
+                if source.starts_with("!mpirun") {
+                    assert!(!outputs.is_empty(), "cell {i} has no output");
+                    assert!(
+                        !outputs[0].contains("can't open file"),
+                        "cell {i}: {outputs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_render_matches_paper() {
+        let text = render_figure2();
+        assert!(text.contains("Single Program, Multiple Data"));
+        assert!(text.contains("%%writefile 00spmd.py"));
+        assert!(text.contains("from mpi4py import MPI"));
+        assert!(text.contains("!mpirun --allow-run-as-root -np 4 python 00spmd.py"));
+        // All four greetings on the Colab container host.
+        for r in 0..4 {
+            assert!(
+                text.contains(&format!("Greetings from process {r} of 4 on d6ff4f902ed6")),
+                "missing greeting {r} in:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipynb_round_trip_has_all_cells() {
+        let nb = executed_notebook();
+        let v: serde_json::Value = serde_json::from_str(&nb.to_ipynb()).unwrap();
+        assert_eq!(
+            v["cells"].as_array().unwrap().len(),
+            1 + 3 * NOTEBOOK_PROGRAMS.len()
+        );
+    }
+
+    #[test]
+    fn exemplar_platform_characteristics() {
+        assert_eq!(ExemplarPlatform::Colab.platform().total_cores(), 1);
+        assert_eq!(ExemplarPlatform::StOlafVm.platform().total_cores(), 64);
+        assert!(ExemplarPlatform::Chameleon.platform().nodes > 1);
+    }
+
+    #[test]
+    fn topologies_name_hosts_appropriately() {
+        let topo = ExemplarPlatform::Colab.topology(4);
+        assert!(topo.rank_hosts.iter().all(|h| h == "d6ff4f902ed6"));
+        let topo = ExemplarPlatform::Chameleon.topology(8);
+        assert!(topo.distinct_hosts() > 1, "cluster spans nodes");
+        let topo = ExemplarPlatform::StOlafVm.topology(8);
+        assert_eq!(topo.distinct_hosts(), 1, "one big VM");
+    }
+
+    #[test]
+    fn notebook_files_follow_csinparallel_numbering() {
+        for (i, (file, _, _)) in NOTEBOOK_PROGRAMS.iter().enumerate() {
+            assert!(file.starts_with(&format!("{i:02}")), "{file} out of order");
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The benchmarking studies the modules end with.
+//!
+//! Module A: "finally perform a small benchmarking study" of the two
+//! OpenMP exemplars on the Pi's 4 cores. Module B: experience "the speed
+//! and scalability of distributed computing" on a cluster platform —
+//! versus the Colab VM, where "single-core VMs prevent learners from
+//! experiencing parallel speedup".
+//!
+//! Each study row combines a **real measured run** on the reproduction
+//! host (threads/ranks actually execute; on a 1-core host measured
+//! speedup is flat — exactly the Colab lesson) with **model-predicted
+//! speedups** on the paper's platforms, using an [`ExecutionModel`]
+//! calibrated from the measured single-threaded time.
+
+use std::time::Instant;
+
+use pdc_exemplars::{drugdesign, forestfire, integration};
+use pdc_platform::model::CommShape;
+use pdc_platform::{presets, ExecutionModel, Platform};
+use pdc_shmem::{Schedule, Team};
+
+/// Study problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for tests (sub-second total).
+    Quick,
+    /// Workshop-scale sizes for the bench harness.
+    Full,
+}
+
+/// One (p, timings, predictions) row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyRow {
+    /// Thread / process count.
+    pub p: usize,
+    /// Measured wall seconds on the reproduction host.
+    pub measured_s: f64,
+    /// Measured speedup vs. the study's p = 1 row.
+    pub measured_speedup: f64,
+    /// Model-predicted speedup per platform: (platform name, speedup).
+    pub predicted: Vec<(String, f64)>,
+}
+
+/// A full sweep for one exemplar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupStudy {
+    /// Exemplar name.
+    pub exemplar: String,
+    /// Which platforms the model predicts for.
+    pub platforms: Vec<String>,
+    /// Sweep rows, ascending p.
+    pub rows: Vec<StudyRow>,
+}
+
+impl SpeedupStudy {
+    /// Render as the table a learner fills in during the study.
+    pub fn render(&self) -> String {
+        let mut out = format!("Speedup study: {}\n", self.exemplar);
+        out.push_str(&format!(
+            "{:>4} | {:>10} | {:>8}",
+            "p", "host (s)", "host S"
+        ));
+        for p in &self.platforms {
+            out.push_str(&format!(" | {p:>18}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:>4} | {:>10.4} | {:>8.2}",
+                row.p, row.measured_s, row.measured_speedup
+            ));
+            for (_, s) in &row.predicted {
+                out.push_str(&format!(" | {s:>18.2}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The predicted speedup for one platform at one p.
+    pub fn predicted_at(&self, platform: &str, p: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.p == p)?
+            .predicted
+            .iter()
+            .find(|(name, _)| name == platform)
+            .map(|(_, s)| *s)
+    }
+
+    /// Karp–Flatt experimentally-determined serial fractions implied by
+    /// one platform's predicted speedups, per p > 1 — the handout's
+    /// "where is my speedup going?" diagnostic. A rising series exposes
+    /// growing overhead; a flat one, a genuine serial fraction.
+    pub fn karp_flatt_series(&self, platform: &str) -> Vec<(usize, f64)> {
+        self.rows
+            .iter()
+            .filter(|r| r.p > 1)
+            .filter_map(|r| {
+                let s = r
+                    .predicted
+                    .iter()
+                    .find(|(name, _)| name == platform)
+                    .map(|(_, s)| *s)?;
+                Some((r.p, pdc_platform::laws::karp_flatt(s, r.p)))
+            })
+            .collect()
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64(), r)
+}
+
+/// Build a study by timing `run(p)` for each p and predicting with
+/// `model` on `platforms`.
+///
+/// Predictions are anchored at `max(measured t1, nominal_s)`: the model
+/// always represents (at least) the workshop-scale run, so Quick-scale
+/// test sizes don't let fixed per-platform overheads (thread spawn,
+/// message latency) swamp a millisecond workload and distort the
+/// pedagogical speedup shapes.
+fn build_study(
+    exemplar: &str,
+    ps: &[usize],
+    platforms: &[Platform],
+    nominal_s: f64,
+    model_of: impl Fn(f64) -> ExecutionModel,
+    mut run: impl FnMut(usize),
+) -> SpeedupStudy {
+    let mut rows = Vec::with_capacity(ps.len());
+    let mut t1 = None;
+    for &p in ps {
+        let (secs, ()) = time(|| run(p));
+        let t1 = *t1.get_or_insert(secs);
+        let model = model_of(t1.max(nominal_s));
+        let predicted = platforms
+            .iter()
+            .map(|plat| (plat.name.clone(), plat.predict(&model, p).speedup))
+            .collect();
+        rows.push(StudyRow {
+            p,
+            measured_s: secs,
+            measured_speedup: t1 / secs,
+            predicted,
+        });
+    }
+    SpeedupStudy {
+        exemplar: exemplar.to_owned(),
+        platforms: platforms.iter().map(|p| p.name.clone()).collect(),
+        rows,
+    }
+}
+
+/// Module A's study: integration + drug design at 1..=4 threads,
+/// predicted on the Raspberry Pi 4 (and Colab for contrast).
+pub fn module_a_study(scale: Scale) -> Vec<SpeedupStudy> {
+    let (n_trap, ligands) = match scale {
+        Scale::Quick => (200_000, 40),
+        Scale::Full => (5_000_000, 120),
+    };
+    let ps = [1usize, 2, 3, 4];
+    let platforms = [presets::raspberry_pi_4(), presets::colab_vm()];
+
+    let integration_study = build_study(
+        "numerical integration (trapezoid, pi)",
+        &ps,
+        &platforms,
+        4.0,
+        // Almost perfectly parallel: ~0.1% serial (loop setup).
+        |t1| ExecutionModel::new(0.001 * t1 * 2.0, 0.999 * t1 * 2.0),
+        |p| {
+            integration::trapezoid_shmem(
+                integration::pi_integrand,
+                0.0,
+                1.0,
+                n_trap,
+                &Team::new(p),
+            );
+        },
+    );
+
+    let config = drugdesign::DrugConfig {
+        num_ligands: ligands,
+        ..Default::default()
+    };
+    let drug_study = build_study(
+        "drug design (ligand scoring)",
+        &ps,
+        &platforms,
+        4.0,
+        // Ligand generation is serial in the exemplar: ~2% serial part.
+        |t1| ExecutionModel::new(0.02 * t1 * 2.0, 0.98 * t1 * 2.0),
+        |p| {
+            drugdesign::run_shmem(&config, &Team::new(p), Schedule::Dynamic { chunk: 1 });
+        },
+    );
+
+    vec![integration_study, drug_study]
+}
+
+/// Module B's study: forest fire + drug design over ranks, measured on
+/// the host and predicted on Colab (flat), the St. Olaf 64-core VM, and
+/// the Chameleon cluster.
+pub fn module_b_study(scale: Scale) -> Vec<SpeedupStudy> {
+    let (grid, trials, ligands) = match scale {
+        Scale::Quick => (15usize, 4usize, 24usize),
+        Scale::Full => (40, 20, 120),
+    };
+    let ps = [1usize, 2, 4, 8, 16, 32, 64];
+    let platforms = [
+        presets::colab_vm(),
+        presets::stolaf_vm(),
+        presets::chameleon_cluster(),
+    ];
+
+    let fire_config = forestfire::FireConfig {
+        size: grid,
+        trials,
+        ..Default::default()
+    };
+    let fire_bytes = grid * grid; // one grid's worth of result traffic
+    let fire_study = build_study(
+        "forest fire (Monte-Carlo sweep)",
+        &ps,
+        &platforms,
+        10.0,
+        move |t1| {
+            ExecutionModel::new(0.005 * t1 * 2.0, 0.995 * t1 * 2.0).with_comm(
+                1,
+                fire_bytes,
+                CommShape::AllToRoot,
+            )
+        },
+        |p| {
+            forestfire::run_mpc(&fire_config, p);
+        },
+    );
+
+    let drug_config = drugdesign::DrugConfig {
+        num_ligands: ligands,
+        ..Default::default()
+    };
+    let drug_study = build_study(
+        "drug design (master-worker)",
+        &ps,
+        &platforms,
+        10.0,
+        |t1| {
+            ExecutionModel::new(0.02 * t1 * 2.0, 0.98 * t1 * 2.0).with_comm(
+                8,
+                64,
+                CommShape::AllToRoot,
+            )
+        },
+        |p| {
+            drugdesign::run_mpc(&drug_config, p);
+        },
+    );
+
+    vec![fire_study, drug_study]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_a_study_shapes() {
+        let studies = module_a_study(Scale::Quick);
+        assert_eq!(studies.len(), 2);
+        for s in &studies {
+            assert_eq!(s.rows.len(), 4);
+            assert_eq!(s.rows[0].measured_speedup, 1.0);
+            // Pi prediction: meaningful speedup at 4 threads.
+            let s4 = s.predicted_at("Raspberry Pi 4B", 4).unwrap();
+            assert!(s4 > 2.5, "{}: Pi speedup {s4}", s.exemplar);
+            // Colab prediction: flat.
+            let c4 = s.predicted_at("Google Colab VM", 4).unwrap();
+            assert!(c4 <= 1.01, "{}: Colab speedup {c4}", s.exemplar);
+        }
+    }
+
+    #[test]
+    fn module_b_study_shapes() {
+        let studies = module_b_study(Scale::Quick);
+        assert_eq!(studies.len(), 2);
+        for s in &studies {
+            assert_eq!(s.rows.len(), 7);
+            let colab64 = s.predicted_at("Google Colab VM", 64).unwrap();
+            assert!(colab64 <= 1.01, "{}: Colab {colab64}", s.exemplar);
+            let st64 = s.predicted_at("St. Olaf 64-core VM", 64).unwrap();
+            let st4 = s.predicted_at("St. Olaf 64-core VM", 4).unwrap();
+            assert!(
+                st64 > st4,
+                "{}: 64-core VM must keep scaling ({st4} → {st64})",
+                s.exemplar
+            );
+            assert!(
+                st64 > 5.0,
+                "{}: 'good parallel speedup': {st64}",
+                s.exemplar
+            );
+        }
+    }
+
+    #[test]
+    fn measured_times_are_positive_and_finite() {
+        for s in module_a_study(Scale::Quick) {
+            for row in &s.rows {
+                assert!(row.measured_s > 0.0 && row.measured_s.is_finite());
+                assert!(row.measured_speedup > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = &module_a_study(Scale::Quick)[0];
+        let text = s.render();
+        for row in &s.rows {
+            assert!(text.contains(&format!("{:>4}", row.p)));
+        }
+        assert!(text.contains("Raspberry Pi 4B"));
+    }
+}
+
+#[cfg(test)]
+mod karp_flatt_tests {
+    use super::*;
+
+    #[test]
+    fn karp_flatt_series_is_small_and_sane_on_the_big_vm() {
+        let studies = module_b_study(Scale::Quick);
+        let fire = &studies[0];
+        let series = fire.karp_flatt_series("St. Olaf 64-core VM");
+        assert_eq!(series.len(), 6, "p = 2,4,8,16,32,64");
+        for (p, e) in &series {
+            assert!(
+                (0.0..0.1).contains(e),
+                "p={p}: implied serial fraction {e} out of band"
+            );
+        }
+        // Overheads grow with p, so the implied serial fraction rises.
+        assert!(series.last().unwrap().1 >= series.first().unwrap().1);
+    }
+
+    #[test]
+    fn karp_flatt_series_unknown_platform_is_empty() {
+        let studies = module_a_study(Scale::Quick);
+        assert!(studies[0].karp_flatt_series("no such machine").is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! The 2.5-day virtual faculty-development workshop of July 2020 (§IV)
+//! — the setting in which the modules were piloted and assessed.
+
+use pdc_assessment::workshop::{Figure34, TableII, FIGURE3, FIGURE4};
+use pdc_assessment::Cohort;
+
+/// One workshop session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// Day (1-based).
+    pub day: u8,
+    /// Morning or afternoon.
+    pub morning: bool,
+    /// Session title.
+    pub title: String,
+    /// Which module (if any) the session works through.
+    pub module: Option<ModuleRef>,
+}
+
+/// The two modules, as session payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleRef {
+    /// Module A: OpenMP on the Raspberry Pi.
+    SharedMemory,
+    /// Module B: MPI via Colab + cluster.
+    DistributedMemory,
+}
+
+/// The assembled workshop.
+#[derive(Debug, Clone)]
+pub struct Workshop {
+    /// Workshop title.
+    pub title: String,
+    /// Sessions in schedule order.
+    pub sessions: Vec<Session>,
+    /// The participant cohort.
+    pub cohort: Cohort,
+}
+
+impl Workshop {
+    /// The CSinParallel summer 2020 virtual workshop: module A the first
+    /// morning, module B the second, afternoons for demonstrations and
+    /// discussion, a closing half-day.
+    pub fn july_2020() -> Self {
+        Self {
+            title: "CSinParallel Summer 2020 Virtual Workshop".into(),
+            sessions: vec![
+                Session {
+                    day: 1,
+                    morning: true,
+                    title: "OpenMP on Raspberry Pi".into(),
+                    module: Some(ModuleRef::SharedMemory),
+                },
+                Session {
+                    day: 1,
+                    morning: false,
+                    title: "CSinParallel.org overview & discussion".into(),
+                    module: None,
+                },
+                Session {
+                    day: 2,
+                    morning: true,
+                    title: "MPI & Distr. Cluster Computing".into(),
+                    module: Some(ModuleRef::DistributedMemory),
+                },
+                Session {
+                    day: 2,
+                    morning: false,
+                    title: "PDC pedagogy demonstrations".into(),
+                    module: None,
+                },
+                Session {
+                    day: 3,
+                    morning: true,
+                    title: "Teaching plans & wrap-up".into(),
+                    module: None,
+                },
+            ],
+            cohort: Cohort::workshop_2020(),
+        }
+    }
+
+    /// Duration in days (half-days count 0.5).
+    pub fn duration_days(&self) -> f64 {
+        let last_day = self.sessions.iter().map(|s| s.day).max().unwrap_or(0);
+        let last_day_full = self
+            .sessions
+            .iter()
+            .any(|s| s.day == last_day && !s.morning);
+        last_day as f64 - if last_day_full { 0.0 } else { 0.5 }
+    }
+
+    /// The DHA survey's Table II (reconstructed).
+    pub fn table2(&self) -> TableII {
+        TableII::reconstruct()
+    }
+
+    /// Figure 3 (confidence) reconstruction.
+    pub fn figure3(&self) -> Figure34 {
+        Figure34::reconstruct(FIGURE3)
+    }
+
+    /// Figure 4 (preparedness) reconstruction.
+    pub fn figure4(&self) -> Figure34 {
+        Figure34::reconstruct(FIGURE4)
+    }
+
+    /// Render the full assessment report (§IV in one page).
+    pub fn render_report(&self) -> String {
+        format!(
+            "{}\n{} days, {} participants\n\n{}\n{}\n\n{}\n{}",
+            self.title,
+            self.duration_days(),
+            self.cohort.len(),
+            self.cohort.render_summary(),
+            self.table2().render(),
+            self.figure3().render(),
+            self.figure4().render(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workshop_is_2_5_days_with_22_participants() {
+        let w = Workshop::july_2020();
+        assert_eq!(w.duration_days(), 2.5);
+        assert_eq!(w.cohort.len(), 22);
+    }
+
+    #[test]
+    fn modules_are_morning_sessions_on_days_1_and_2() {
+        let w = Workshop::july_2020();
+        let a = w
+            .sessions
+            .iter()
+            .find(|s| s.module == Some(ModuleRef::SharedMemory))
+            .unwrap();
+        assert_eq!((a.day, a.morning), (1, true));
+        let b = w
+            .sessions
+            .iter()
+            .find(|s| s.module == Some(ModuleRef::DistributedMemory))
+            .unwrap();
+        assert_eq!((b.day, b.morning), (2, true));
+    }
+
+    #[test]
+    fn report_contains_all_published_statistics() {
+        let report = Workshop::july_2020().render_report();
+        for needle in [
+            "4.55", "4.45", "4.38", "4.29", // Table II
+            "2.82", "3.59", // Figure 3 means
+            "2.59", "3.77", // Figure 4 means
+            "male 77%", "n = 22",
+        ] {
+            assert!(report.contains(needle), "report missing {needle}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_p_values_near_published() {
+        let w = Workshop::july_2020();
+        let f3 = w.figure3();
+        let ratio3 = f3.reconstruction.p_ratio();
+        assert!(
+            (0.2..5.0).contains(&ratio3),
+            "fig3 p: achieved {} vs published {}",
+            f3.reconstruction.achieved_p,
+            f3.reconstruction.target_p
+        );
+        let f4 = w.figure4();
+        let ratio4 = f4.reconstruction.p_ratio();
+        assert!(
+            (0.05..20.0).contains(&ratio4),
+            "fig4 p: achieved {} vs published {}",
+            f4.reconstruction.achieved_p,
+            f4.reconstruction.target_p
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! ActiveCode — Runestone's run-in-the-page code blocks.
+//!
+//! The paper notes Module A deliberately does *not* use this feature
+//! ("Our module has learners perform the handout's activities on their
+//! Raspberry Pi devices, so we did not use the Runestone Interactive
+//! Active Code feature") — but the feature is part of the Runestone
+//! substrate, so the engine supports it: an ActiveCode block binds a
+//! patternlet to a Run button, and executing the module fills in the
+//! recorded output, exactly like the notebook runtime does for mpirun
+//! cells.
+
+use crate::module::{Block, Module};
+
+/// An executable code block: a patternlet with a thread/process count
+/// and its last recorded output.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ActiveCode {
+    /// Which patternlet the Run button executes.
+    pub patternlet_id: String,
+    /// Threads/processes the run uses.
+    pub n: usize,
+    /// Output lines from the last run (empty before first run).
+    pub output: Vec<String>,
+}
+
+impl ActiveCode {
+    /// An unexecuted block.
+    pub fn new(patternlet_id: &str, n: usize) -> Self {
+        Self {
+            patternlet_id: patternlet_id.to_owned(),
+            n,
+            output: Vec::new(),
+        }
+    }
+
+    /// Press Run: execute the bound patternlet and record its output.
+    /// Returns an error line if the id is unknown.
+    pub fn run(&mut self) -> &[String] {
+        self.output = match pdc_patternlets::registry::find(&self.patternlet_id) {
+            Some(p) => p.run(self.n).lines,
+            None => vec![format!(
+                "error: unknown patternlet '{}'",
+                self.patternlet_id
+            )],
+        };
+        &self.output
+    }
+}
+
+/// Execute every ActiveCode block in a module in place ("Run all").
+/// Returns how many blocks ran.
+pub fn run_all(module: &mut Module) -> usize {
+    let mut ran = 0;
+    for ch in &mut module.chapters {
+        for s in &mut ch.sections {
+            for b in &mut s.blocks {
+                if let Block::ActiveCode(ac) = b {
+                    ac.run();
+                    ran += 1;
+                }
+            }
+        }
+    }
+    ran
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Chapter, Section};
+
+    fn demo_module() -> Module {
+        Module {
+            title: "ActiveCode demo".into(),
+            duration_min: 10,
+            chapters: vec![Chapter {
+                number: 1,
+                title: "Try it".into(),
+                sections: vec![Section {
+                    number: "1.1".into(),
+                    title: "Run the SPMD patternlet".into(),
+                    blocks: vec![
+                        Block::Text("Press Run:".into()),
+                        Block::ActiveCode(ActiveCode::new("sm.spmd", 4)),
+                        Block::ActiveCode(ActiveCode::new("mp.reduce", 3)),
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn run_fills_output() {
+        let mut ac = ActiveCode::new("sm.spmd", 4);
+        assert!(ac.output.is_empty());
+        let out = ac.run();
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().any(|l| l.contains("thread 2 of 4")));
+    }
+
+    #[test]
+    fn unknown_patternlet_reports_error() {
+        let mut ac = ActiveCode::new("sm.nope", 2);
+        let out = ac.run();
+        assert!(out[0].contains("unknown patternlet"));
+    }
+
+    #[test]
+    fn run_all_executes_every_block() {
+        let mut m = demo_module();
+        assert_eq!(run_all(&mut m), 2);
+        let outputs: Vec<&ActiveCode> = m.chapters[0].sections[0]
+            .blocks
+            .iter()
+            .filter_map(|b| match b {
+                Block::ActiveCode(ac) => Some(ac),
+                _ => None,
+            })
+            .collect();
+        assert!(!outputs[0].output.is_empty());
+        assert_eq!(outputs[1].output[0], "sum = 6, max = 3");
+    }
+
+    #[test]
+    fn rerun_replaces_output() {
+        let mut ac = ActiveCode::new("mp.gather", 2);
+        ac.run();
+        let first = ac.output.clone();
+        ac.n = 4;
+        ac.run();
+        assert_ne!(ac.output, first, "n change must change the output");
+        assert_eq!(ac.output[0], "Gathered [0, 1, 4, 9]");
+    }
+}

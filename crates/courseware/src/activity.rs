@@ -1,0 +1,257 @@
+//! Auto-graded interactive activities — the Runestone feature set the
+//! module uses: "interactive questions (e.g., multiple choice, fill in
+//! the blank, drag-and-drop) to quiz the reader on key concepts" (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// Result of grading one attempt.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graded {
+    /// Was the attempt fully correct?
+    pub correct: bool,
+    /// Feedback shown to the learner.
+    pub feedback: String,
+}
+
+/// One multiple-choice option.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Choice {
+    /// Option label ("A", "B", …).
+    pub label: String,
+    /// Option text.
+    pub text: String,
+    /// Feedback specific to picking this option.
+    pub feedback: String,
+}
+
+/// A single-answer multiple-choice question (Runestone `mchoice`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultipleChoice {
+    /// Stable activity id (e.g. `sp_mc_2`, as in Figure 1).
+    pub id: String,
+    /// Question prompt.
+    pub prompt: String,
+    /// The options.
+    pub choices: Vec<Choice>,
+    /// Index of the correct option.
+    pub correct: usize,
+}
+
+impl MultipleChoice {
+    /// Grade a selected option index.
+    pub fn grade(&self, selected: usize) -> Graded {
+        match self.choices.get(selected) {
+            None => Graded {
+                correct: false,
+                feedback: format!("No such option (pick 0..{})", self.choices.len() - 1),
+            },
+            Some(c) => Graded {
+                correct: selected == self.correct,
+                feedback: c.feedback.clone(),
+            },
+        }
+    }
+}
+
+/// A fill-in-the-blank question (Runestone `fillintheblank`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FillInBlank {
+    /// Stable activity id.
+    pub id: String,
+    /// Prompt; `___` marks the blank.
+    pub prompt: String,
+    /// Accepted answers.
+    pub accepted: Vec<String>,
+    /// Compare case-sensitively?
+    pub case_sensitive: bool,
+}
+
+impl FillInBlank {
+    /// Grade a free-text answer (surrounding whitespace ignored).
+    pub fn grade(&self, answer: &str) -> Graded {
+        let given = answer.trim();
+        let hit = self.accepted.iter().any(|a| {
+            if self.case_sensitive {
+                a == given
+            } else {
+                a.eq_ignore_ascii_case(given)
+            }
+        });
+        Graded {
+            correct: hit,
+            feedback: if hit {
+                "Correct!".to_owned()
+            } else {
+                "Not quite — review the video and try again.".to_owned()
+            },
+        }
+    }
+}
+
+/// A drag-and-drop matching question (Runestone `dragndrop`): match each
+/// left-hand term to its right-hand definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DragAndDrop {
+    /// Stable activity id.
+    pub id: String,
+    /// Prompt.
+    pub prompt: String,
+    /// Correct (term, definition) pairs.
+    pub pairs: Vec<(String, String)>,
+}
+
+impl DragAndDrop {
+    /// Grade an answer mapping: `answer[i]` is the index of the
+    /// definition the learner attached to term `i`.
+    pub fn grade(&self, answer: &[usize]) -> Graded {
+        if answer.len() != self.pairs.len() {
+            return Graded {
+                correct: false,
+                feedback: format!("Match all {} terms.", self.pairs.len()),
+            };
+        }
+        let wrong = answer
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| d != i)
+            .map(|(i, _)| self.pairs[i].0.clone())
+            .collect::<Vec<_>>();
+        if wrong.is_empty() {
+            Graded {
+                correct: true,
+                feedback: "All matched!".to_owned(),
+            }
+        } else {
+            Graded {
+                correct: false,
+                feedback: format!("Mismatched: {}", wrong.join(", ")),
+            }
+        }
+    }
+}
+
+/// Any activity, for embedding in module blocks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activity {
+    /// Multiple-choice question.
+    MultipleChoice(MultipleChoice),
+    /// Fill-in-the-blank question.
+    FillInBlank(FillInBlank),
+    /// Drag-and-drop matching.
+    DragAndDrop(DragAndDrop),
+    /// Parsons (code-reordering) problem.
+    Parsons(crate::parsons::Parsons),
+}
+
+impl Activity {
+    /// Stable id of the wrapped activity.
+    pub fn id(&self) -> &str {
+        match self {
+            Activity::MultipleChoice(a) => &a.id,
+            Activity::FillInBlank(a) => &a.id,
+            Activity::DragAndDrop(a) => &a.id,
+            Activity::Parsons(a) => &a.id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race_mc() -> MultipleChoice {
+        MultipleChoice {
+            id: "sp_mc_2".into(),
+            prompt: "What is a race condition?".into(),
+            choices: vec![
+                Choice {
+                    label: "A".into(),
+                    text: "It is the smallest set of instructions that must execute sequentially to ensure correctness.".into(),
+                    feedback: "That describes a critical section's contents, not the race itself.".into(),
+                },
+                Choice {
+                    label: "B".into(),
+                    text: "It is a mechanism that helps protect a resource.".into(),
+                    feedback: "That's mutual exclusion — the *fix* for a race.".into(),
+                },
+                Choice {
+                    label: "C".into(),
+                    text: "It is something that arises when two or more threads attempt to modify a shared variable at the same time.".into(),
+                    feedback: "Correct!".into(),
+                },
+            ],
+            correct: 2,
+        }
+    }
+
+    #[test]
+    fn mc_correct_answer() {
+        let g = race_mc().grade(2);
+        assert!(g.correct);
+        assert_eq!(g.feedback, "Correct!");
+    }
+
+    #[test]
+    fn mc_distractors_give_targeted_feedback() {
+        let g = race_mc().grade(1);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("mutual exclusion"));
+    }
+
+    #[test]
+    fn mc_out_of_range() {
+        let g = race_mc().grade(9);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("No such option"));
+    }
+
+    #[test]
+    fn fib_accepts_case_insensitively_and_trims() {
+        let q = FillInBlank {
+            id: "fib1".into(),
+            prompt: "OpenMP splits a loop among threads with #pragma omp ___".into(),
+            accepted: vec!["for".into(), "parallel for".into()],
+            case_sensitive: false,
+        };
+        assert!(q.grade("FOR").correct);
+        assert!(q.grade("  parallel for ").correct);
+        assert!(!q.grade("sections").correct);
+    }
+
+    #[test]
+    fn fib_case_sensitive_mode() {
+        let q = FillInBlank {
+            id: "fib2".into(),
+            prompt: "___".into(),
+            accepted: vec!["MPI".into()],
+            case_sensitive: true,
+        };
+        assert!(q.grade("MPI").correct);
+        assert!(!q.grade("mpi").correct);
+    }
+
+    #[test]
+    fn dnd_grades_permutations() {
+        let q = DragAndDrop {
+            id: "dnd1".into(),
+            prompt: "Match construct to purpose".into(),
+            pairs: vec![
+                ("barrier".into(), "wait for the whole team".into()),
+                ("critical".into(), "one thread at a time".into()),
+                ("reduction".into(), "combine private copies".into()),
+            ],
+        };
+        assert!(q.grade(&[0, 1, 2]).correct);
+        let g = q.grade(&[1, 0, 2]);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("barrier"));
+        assert!(g.feedback.contains("critical"));
+        assert!(!g.feedback.contains("reduction"));
+        assert!(!q.grade(&[0, 1]).correct, "length mismatch");
+    }
+
+    #[test]
+    fn activity_id_dispatch() {
+        assert_eq!(Activity::MultipleChoice(race_mc()).id(), "sp_mc_2");
+    }
+}

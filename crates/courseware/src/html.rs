@@ -1,0 +1,295 @@
+//! HTML renderers — the form Runestone actually serves modules in.
+//!
+//! Deliberately framework-free: semantic HTML5 with the structure a
+//! Runestone page has (sections, `<video>` placeholders, `<pre><code>`
+//! listings, radio-button question forms), so the output opens in any
+//! browser.
+
+use crate::activity::Activity;
+use crate::module::{Block, Module, Section};
+use crate::notebook::{Cell, Notebook};
+
+/// Escape the five HTML-special characters.
+pub fn escape(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '&' => "&amp;".to_owned(),
+            '<' => "&lt;".to_owned(),
+            '>' => "&gt;".to_owned(),
+            '"' => "&quot;".to_owned(),
+            '\'' => "&#39;".to_owned(),
+            c => c.to_string(),
+        })
+        .collect()
+}
+
+/// Render a full module as a standalone HTML page.
+pub fn module_page(module: &Module) -> String {
+    let mut body = String::new();
+    body.push_str(&format!(
+        "<header><h1>{}</h1><p>self-paced, {} minutes</p></header>\n",
+        escape(&module.title),
+        module.duration_min
+    ));
+    for ch in &module.chapters {
+        body.push_str(&format!(
+            "<section class=\"chapter\"><h2>{}. {}</h2>\n",
+            ch.number,
+            escape(&ch.title)
+        ));
+        for s in &ch.sections {
+            body.push_str(&section_html(s));
+        }
+        body.push_str("</section>\n");
+    }
+    page(&module.title, &body)
+}
+
+/// Render one section.
+pub fn section_html(section: &Section) -> String {
+    let mut out = format!(
+        "<section class=\"subsection\"><h3>{} {}</h3>\n",
+        escape(&section.number),
+        escape(&section.title)
+    );
+    for block in &section.blocks {
+        match block {
+            Block::Text(t) => out.push_str(&format!("<p>{}</p>\n", escape(t))),
+            Block::Video(v) => out.push_str(&format!(
+                "<figure class=\"video\"><video controls data-duration=\"{}\"></video>\
+                 <figcaption>&#9654; {} ({})</figcaption></figure>\n",
+                v.duration_s,
+                escape(&v.title),
+                v.duration_label()
+            )),
+            Block::Code {
+                language,
+                listing,
+                patternlet_id,
+            } => {
+                let link = patternlet_id
+                    .as_ref()
+                    .map(|id| format!(" data-patternlet=\"{}\"", escape(id)))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "<pre{link}><code class=\"language-{}\">{}</code></pre>\n",
+                    escape(language),
+                    escape(listing)
+                ));
+            }
+            Block::Activity(a) => out.push_str(&activity_html(a)),
+            Block::ActiveCode(ac) => {
+                out.push_str(&format!(
+                    "<div class=\"activecode\" data-patternlet=\"{}\" data-n=\"{}\">\
+                     <button type=\"button\">Run</button><pre class=\"out\">{}</pre></div>\n",
+                    escape(&ac.patternlet_id),
+                    ac.n,
+                    escape(&ac.output.join("\n"))
+                ));
+            }
+        }
+    }
+    out.push_str("</section>\n");
+    out
+}
+
+/// Render one activity as a form.
+pub fn activity_html(activity: &Activity) -> String {
+    match activity {
+        Activity::MultipleChoice(mc) => {
+            let mut out = format!(
+                "<form class=\"mchoice\" id=\"{}\"><p>{}</p>\n",
+                escape(&mc.id),
+                escape(&mc.prompt)
+            );
+            for (i, c) in mc.choices.iter().enumerate() {
+                out.push_str(&format!(
+                    "<label><input type=\"radio\" name=\"{}\" value=\"{i}\"> {}. {}</label><br>\n",
+                    escape(&mc.id),
+                    escape(&c.label),
+                    escape(&c.text)
+                ));
+            }
+            out.push_str("<button type=\"button\">Check me</button></form>\n");
+            out
+        }
+        Activity::FillInBlank(f) => format!(
+            "<form class=\"fillintheblank\" id=\"{}\"><p>{}</p>\
+             <input type=\"text\" name=\"answer\"><button type=\"button\">Check me</button></form>\n",
+            escape(&f.id),
+            escape(&f.prompt)
+        ),
+        Activity::DragAndDrop(d) => {
+            let mut out = format!(
+                "<div class=\"dragndrop\" id=\"{}\"><p>{}</p><ul>\n",
+                escape(&d.id),
+                escape(&d.prompt)
+            );
+            for (term, _) in &d.pairs {
+                out.push_str(&format!("<li draggable=\"true\">{}</li>\n", escape(term)));
+            }
+            out.push_str("</ul></div>\n");
+            out
+        }
+        Activity::Parsons(p) => {
+            let mut out = format!(
+                "<div class=\"parsons\" id=\"{}\"><p>{}</p><ul class=\"sortable\">\n",
+                escape(&p.id),
+                escape(&p.prompt)
+            );
+            for line in p.presented_lines() {
+                out.push_str(&format!("<li><code>{}</code></li>\n", escape(&line)));
+            }
+            out.push_str("</ul></div>\n");
+            out
+        }
+    }
+}
+
+/// Render a notebook as an HTML page (Colab-flavoured: boxed code cells
+/// with output streams).
+pub fn notebook_page(notebook: &Notebook) -> String {
+    let mut body = format!(
+        "<header><h1>&#9776; {}</h1></header>\n",
+        escape(&notebook.title)
+    );
+    for cell in &notebook.cells {
+        match cell {
+            Cell::Markdown(text) => {
+                body.push_str(&format!(
+                    "<div class=\"md\"><p>{}</p></div>\n",
+                    escape(text)
+                ));
+            }
+            Cell::Code { source, outputs } => {
+                body.push_str(&format!(
+                    "<div class=\"cell\"><pre class=\"src\"><code>{}</code></pre>",
+                    escape(source)
+                ));
+                if !outputs.is_empty() {
+                    body.push_str(&format!(
+                        "<pre class=\"out\">{}</pre>",
+                        escape(&outputs.join("\n"))
+                    ));
+                }
+                body.push_str("</div>\n");
+            }
+        }
+    }
+    page(&notebook.title, &body)
+}
+
+fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>{}</title>\
+         <style>body{{font-family:sans-serif;max-width:50em;margin:auto}}\
+         pre{{background:#f4f4f4;padding:.5em;overflow-x:auto}}\
+         .out{{border-left:3px solid #888}}</style>\
+         </head>\n<body>\n{}</body></html>\n",
+        escape(title),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Choice, MultipleChoice};
+    use crate::module::Video;
+    use crate::parsons::Parsons;
+
+    #[test]
+    fn escape_all_specials() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn section_html_is_well_formed_ish() {
+        let s = Section {
+            number: "2.3".into(),
+            title: "Race <Conditions>".into(),
+            blocks: vec![
+                Block::Text("x & y".into()),
+                Block::Video(Video {
+                    title: "vid".into(),
+                    duration_s: 122,
+                }),
+                Block::Code {
+                    language: "c".into(),
+                    listing: "if (a < b) { }".into(),
+                    patternlet_id: Some("sm.race".into()),
+                },
+            ],
+        };
+        let html = section_html(&s);
+        assert!(html.contains("Race &lt;Conditions&gt;"));
+        assert!(html.contains("x &amp; y"));
+        assert!(html.contains("if (a &lt; b)"));
+        assert!(html.contains("data-patternlet=\"sm.race\""));
+        assert!(html.contains("data-duration=\"122\""));
+        // Balanced section tags.
+        assert_eq!(
+            html.matches("<section").count(),
+            html.matches("</section>").count()
+        );
+    }
+
+    #[test]
+    fn mc_form_has_one_radio_per_choice() {
+        let mc = Activity::MultipleChoice(MultipleChoice {
+            id: "q".into(),
+            prompt: "?".into(),
+            choices: vec![
+                Choice {
+                    label: "A".into(),
+                    text: "one".into(),
+                    feedback: String::new(),
+                },
+                Choice {
+                    label: "B".into(),
+                    text: "two".into(),
+                    feedback: String::new(),
+                },
+            ],
+            correct: 1,
+        });
+        let html = activity_html(&mc);
+        assert_eq!(html.matches("type=\"radio\"").count(), 2);
+        assert!(html.contains("Check me"));
+    }
+
+    #[test]
+    fn parsons_renders_scrambled_lines() {
+        let html = activity_html(&Activity::Parsons(Parsons::spmd_problem()));
+        assert!(html.contains("class=\"parsons\""));
+        assert_eq!(html.matches("<li>").count(), 7);
+    }
+
+    #[test]
+    fn notebook_page_has_cells_and_outputs() {
+        let mut nb = Notebook::new("t.ipynb");
+        nb.push_markdown("hello");
+        nb.cells.push(Cell::Code {
+            source: "!mpirun -np 2 python x.py".into(),
+            outputs: vec!["a < b".into()],
+        });
+        let html = notebook_page(&nb);
+        assert!(html.contains("<!DOCTYPE html>"));
+        assert!(html.contains("class=\"cell\""));
+        assert!(html.contains("a &lt; b"));
+    }
+
+    #[test]
+    fn full_module_page_renders() {
+        let m = Module {
+            title: "M".into(),
+            duration_min: 120,
+            chapters: vec![],
+        };
+        let html = module_page(&m);
+        assert!(html.contains("<title>M</title>"));
+        assert!(html.contains("self-paced, 120 minutes"));
+    }
+}

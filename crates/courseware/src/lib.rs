@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # pdc-courseware
+//!
+//! The interactive-courseware substrate beneath the paper's two delivery
+//! vehicles:
+//!
+//! * [`module`] + [`activity`] + [`progress`] — a **Runestone
+//!   Interactive**-style virtual handout: modules of chapters of
+//!   sections; blocks of expository text, videos, code listings, and
+//!   auto-graded interactive questions (multiple choice, fill-in-blank,
+//!   drag-and-drop — the feature set §III-A lists); per-learner progress
+//!   and grading (Runestone's "course and assignment management").
+//! * [`notebook`] — a **Google Colab / Jupyter**-style notebook: markdown
+//!   and code cells, an execution runtime that understands the two magics
+//!   the paper's Figure 2 uses (`%%writefile` and `!mpirun -np N python
+//!   file.py`), and `.ipynb` (nbformat 4) serialization.
+//! * [`render`] — plain-text renderers that regenerate the paper's
+//!   Figure 1 (a module section view) and Figure 2 (a notebook view).
+//!
+//! The notebook runtime executes "Python" files by recognizing them as
+//! registered patternlets from [`pdc_patternlets`] and running them on
+//! the in-process message-passing runtime — exactly the substitution the
+//! design document records for Colab's `mpirun`.
+
+pub mod activecode;
+pub mod activity;
+pub mod html;
+pub mod module;
+pub mod notebook;
+pub mod parsons;
+pub mod progress;
+pub mod render;
+
+pub use activecode::ActiveCode;
+pub use activity::{Activity, DragAndDrop, FillInBlank, Graded, MultipleChoice};
+pub use module::{Block, Chapter, Module, Section, Video};
+pub use notebook::{Cell, Notebook, NotebookRuntime};
+pub use parsons::Parsons;
+pub use progress::Gradebook;

@@ -1,0 +1,217 @@
+//! The Runestone-style module structure: modules → chapters → sections →
+//! blocks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activity::Activity;
+
+/// An instructional video placeholder ("video explanations" from §III-A);
+/// the paper's Figure 1 shows one at timestamp 1:05 / 2:02.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Video {
+    /// Video title.
+    pub title: String,
+    /// Duration in seconds.
+    pub duration_s: u32,
+}
+
+impl Video {
+    /// Render `m:ss`.
+    pub fn duration_label(&self) -> String {
+        format!("{}:{:02}", self.duration_s / 60, self.duration_s % 60)
+    }
+}
+
+/// One content block of a section.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Block {
+    /// Expository text.
+    Text(String),
+    /// Embedded video.
+    Video(Video),
+    /// A code listing; when it shows a patternlet, `patternlet_id` links
+    /// it to the runnable catalog entry.
+    Code {
+        /// Language label ("c", "python").
+        language: String,
+        /// The listing.
+        listing: String,
+        /// Linked runnable patternlet, if any.
+        patternlet_id: Option<String>,
+    },
+    /// An interactive, auto-graded activity.
+    Activity(Activity),
+    /// An executable (ActiveCode) block bound to a patternlet.
+    ActiveCode(crate::activecode::ActiveCode),
+}
+
+/// A numbered section (e.g. "2.3 Race Conditions").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Section {
+    /// Dotted number, e.g. `2.3`.
+    pub number: String,
+    /// Title.
+    pub title: String,
+    /// Ordered content.
+    pub blocks: Vec<Block>,
+}
+
+/// A chapter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chapter {
+    /// Chapter number (1-based).
+    pub number: usize,
+    /// Title.
+    pub title: String,
+    /// Sections.
+    pub sections: Vec<Section>,
+}
+
+/// A complete self-paced module ("designed to be completed in a
+/// self-paced 2-hour period").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module title.
+    pub title: String,
+    /// Intended duration, minutes.
+    pub duration_min: u32,
+    /// Chapters.
+    pub chapters: Vec<Chapter>,
+}
+
+impl Module {
+    /// Find a section by dotted number.
+    pub fn section(&self, number: &str) -> Option<&Section> {
+        self.chapters
+            .iter()
+            .flat_map(|c| c.sections.iter())
+            .find(|s| s.number == number)
+    }
+
+    /// Every activity in the module, in reading order.
+    pub fn activities(&self) -> Vec<&Activity> {
+        self.chapters
+            .iter()
+            .flat_map(|c| c.sections.iter())
+            .flat_map(|s| s.blocks.iter())
+            .filter_map(|b| match b {
+                Block::Activity(a) => Some(a),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every linked patternlet id, in reading order.
+    pub fn patternlet_ids(&self) -> Vec<&str> {
+        self.chapters
+            .iter()
+            .flat_map(|c| c.sections.iter())
+            .flat_map(|s| s.blocks.iter())
+            .filter_map(|b| match b {
+                Block::Code {
+                    patternlet_id: Some(id),
+                    ..
+                } => Some(id.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total embedded video seconds.
+    pub fn video_seconds(&self) -> u32 {
+        self.chapters
+            .iter()
+            .flat_map(|c| c.sections.iter())
+            .flat_map(|s| s.blocks.iter())
+            .filter_map(|b| match b {
+                Block::Video(v) => Some(v.duration_s),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{FillInBlank, MultipleChoice};
+
+    fn tiny_module() -> Module {
+        Module {
+            title: "Test module".into(),
+            duration_min: 120,
+            chapters: vec![Chapter {
+                number: 2,
+                title: "Shared memory".into(),
+                sections: vec![Section {
+                    number: "2.3".into(),
+                    title: "Race Conditions".into(),
+                    blocks: vec![
+                        Block::Text("The following video will help you understand.".into()),
+                        Block::Video(Video {
+                            title: "Race conditions".into(),
+                            duration_s: 122,
+                        }),
+                        Block::Code {
+                            language: "c".into(),
+                            listing: "balance = balance + 1;".into(),
+                            patternlet_id: Some("sm.race".into()),
+                        },
+                        Block::Activity(Activity::MultipleChoice(MultipleChoice {
+                            id: "sp_mc_2".into(),
+                            prompt: "What is a race condition?".into(),
+                            choices: vec![],
+                            correct: 0,
+                        })),
+                        Block::Activity(Activity::FillInBlank(FillInBlank {
+                            id: "sp_fib_1".into(),
+                            prompt: "___".into(),
+                            accepted: vec!["critical".into()],
+                            case_sensitive: false,
+                        })),
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn section_lookup_by_number() {
+        let m = tiny_module();
+        assert_eq!(m.section("2.3").unwrap().title, "Race Conditions");
+        assert!(m.section("9.9").is_none());
+    }
+
+    #[test]
+    fn activities_enumerated_in_order() {
+        let m = tiny_module();
+        let ids: Vec<&str> = m.activities().iter().map(|a| a.id()).collect();
+        assert_eq!(ids, vec!["sp_mc_2", "sp_fib_1"]);
+    }
+
+    #[test]
+    fn patternlet_links_enumerated() {
+        assert_eq!(tiny_module().patternlet_ids(), vec!["sm.race"]);
+    }
+
+    #[test]
+    fn video_duration_totals_and_label() {
+        let m = tiny_module();
+        assert_eq!(m.video_seconds(), 122);
+        assert_eq!(
+            Video {
+                title: String::new(),
+                duration_s: 122
+            }
+            .duration_label(),
+            "2:02"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = tiny_module();
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<Module>(&json).unwrap(), m);
+    }
+}

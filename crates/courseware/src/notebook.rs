@@ -1,0 +1,408 @@
+//! The Colab/Jupyter-style notebook engine.
+//!
+//! A [`Notebook`] is markdown + code cells. The [`NotebookRuntime`]
+//! executes code cells the way the paper's Colab notebook does:
+//!
+//! * `%%writefile NAME` — save the cell body as a "file" in the runtime.
+//! * `!mpirun [--allow-run-as-root] -np N python NAME` — run the file's
+//!   registered patternlet at `N` processes on the in-process runtime.
+//!
+//! Files map to patternlets by registration (`register_file`), mirroring
+//! how the real notebook's `.py` files are the mpi4py patternlets.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// One notebook cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cell {
+    /// A markdown (text) cell.
+    Markdown(String),
+    /// A code cell with its recorded outputs.
+    Code {
+        /// Source, possibly starting with a magic line.
+        source: String,
+        /// Output lines from the last execution.
+        outputs: Vec<String>,
+    },
+}
+
+/// A notebook document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notebook {
+    /// Notebook title (Colab shows it as the filename).
+    pub title: String,
+    /// Ordered cells.
+    pub cells: Vec<Cell>,
+}
+
+impl Notebook {
+    /// New empty notebook.
+    pub fn new(title: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a markdown cell.
+    pub fn push_markdown(&mut self, text: &str) {
+        self.cells.push(Cell::Markdown(text.to_owned()));
+    }
+
+    /// Append a code cell (not yet executed).
+    pub fn push_code(&mut self, source: &str) {
+        self.cells.push(Cell::Code {
+            source: source.to_owned(),
+            outputs: Vec::new(),
+        });
+    }
+
+    /// Serialize to nbformat-4 JSON (loadable by Jupyter/Colab).
+    pub fn to_ipynb(&self) -> String {
+        let cells: Vec<serde_json::Value> = self
+            .cells
+            .iter()
+            .map(|c| match c {
+                Cell::Markdown(text) => json!({
+                    "cell_type": "markdown",
+                    "metadata": {},
+                    "source": text.lines().map(|l| format!("{l}\n")).collect::<Vec<_>>(),
+                }),
+                Cell::Code { source, outputs } => json!({
+                    "cell_type": "code",
+                    "metadata": {},
+                    "execution_count": null,
+                    "source": source.lines().map(|l| format!("{l}\n")).collect::<Vec<_>>(),
+                    "outputs": if outputs.is_empty() {
+                        json!([])
+                    } else {
+                        json!([{
+                            "output_type": "stream",
+                            "name": "stdout",
+                            "text": outputs.iter().map(|l| format!("{l}\n")).collect::<Vec<_>>(),
+                        }])
+                    },
+                }),
+            })
+            .collect();
+        serde_json::to_string_pretty(&json!({
+            "nbformat": 4,
+            "nbformat_minor": 5,
+            "metadata": {
+                "colab": { "name": self.title },
+                "kernelspec": { "display_name": "Python 3", "name": "python3" },
+            },
+            "cells": cells,
+        }))
+        .expect("nbformat serialization cannot fail")
+    }
+
+    /// Parse an nbformat-4 JSON document back into a [`Notebook`] —
+    /// the import half of Colab interchange. Stream outputs become the
+    /// cell's output lines; other output kinds are ignored.
+    pub fn from_ipynb(raw: &str) -> Result<Self, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+        if v["nbformat"].as_i64() != Some(4) {
+            return Err(format!("unsupported nbformat {:?}", v["nbformat"]));
+        }
+        let title = v["metadata"]["colab"]["name"]
+            .as_str()
+            .unwrap_or("untitled.ipynb")
+            .to_owned();
+        let join_source = |val: &serde_json::Value| -> String {
+            match val {
+                serde_json::Value::String(s) => s.clone(),
+                serde_json::Value::Array(parts) => {
+                    parts.iter().filter_map(|p| p.as_str()).collect::<String>()
+                }
+                _ => String::new(),
+            }
+        };
+        let mut cells = Vec::new();
+        for (i, cell) in v["cells"]
+            .as_array()
+            .ok_or("missing cells array")?
+            .iter()
+            .enumerate()
+        {
+            let source = join_source(&cell["source"]);
+            let source = source.strip_suffix('\n').unwrap_or(&source).to_owned();
+            match cell["cell_type"].as_str() {
+                Some("markdown") => cells.push(Cell::Markdown(source)),
+                Some("code") => {
+                    let mut outputs = Vec::new();
+                    if let Some(outs) = cell["outputs"].as_array() {
+                        for o in outs {
+                            if o["output_type"] == "stream" {
+                                let text = join_source(&o["text"]);
+                                outputs.extend(text.lines().map(str::to_owned));
+                            }
+                        }
+                    }
+                    cells.push(Cell::Code { source, outputs });
+                }
+                other => return Err(format!("cell {i}: unsupported cell_type {other:?}")),
+            }
+        }
+        Ok(Self { title, cells })
+    }
+}
+
+/// Execution environment for a notebook.
+pub struct NotebookRuntime {
+    /// File name → file content (what `%%writefile` wrote).
+    files: HashMap<String, String>,
+    /// File name → patternlet id (what `mpirun` runs).
+    programs: HashMap<String, &'static str>,
+}
+
+impl Default for NotebookRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NotebookRuntime {
+    /// Fresh runtime with no files.
+    pub fn new() -> Self {
+        Self {
+            files: HashMap::new(),
+            programs: HashMap::new(),
+        }
+    }
+
+    /// Register which patternlet a file name executes as.
+    pub fn register_file(&mut self, name: &str, patternlet_id: &'static str) {
+        self.programs.insert(name.to_owned(), patternlet_id);
+    }
+
+    /// Content of a written file, if any.
+    pub fn file(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(String::as_str)
+    }
+
+    /// Execute one code cell source; returns the output lines.
+    pub fn execute_source(&mut self, source: &str) -> Vec<String> {
+        let mut lines = source.lines();
+        let first = lines.next().unwrap_or("").trim();
+        if let Some(name) = first.strip_prefix("%%writefile ") {
+            let name = name.trim().to_owned();
+            let body: String = lines.collect::<Vec<_>>().join("\n");
+            let existed = self.files.insert(name.clone(), body).is_some();
+            return vec![if existed {
+                format!("Overwriting {name}")
+            } else {
+                format!("Writing {name}")
+            }];
+        }
+        if let Some(cmd) = first.strip_prefix('!') {
+            return self.execute_shell(cmd);
+        }
+        vec![format!("(cell not executable in this runtime: {first:?})")]
+    }
+
+    /// Execute the whole notebook in place, filling every code cell's
+    /// outputs.
+    pub fn execute(&mut self, notebook: &mut Notebook) {
+        for cell in &mut notebook.cells {
+            if let Cell::Code { source, outputs } = cell {
+                *outputs = self.execute_source(source);
+            }
+        }
+    }
+
+    fn execute_shell(&mut self, cmd: &str) -> Vec<String> {
+        let tokens: Vec<&str> = cmd.split_whitespace().collect();
+        if tokens.first() != Some(&"mpirun") {
+            return vec![format!("sh: command not supported: {cmd}")];
+        }
+        // Parse: mpirun [--allow-run-as-root] -np N python FILE
+        let mut np: Option<usize> = None;
+        let mut file: Option<&str> = None;
+        let mut i = 1;
+        while i < tokens.len() {
+            match tokens[i] {
+                "--allow-run-as-root" => i += 1,
+                "-np" | "-n" => {
+                    np = tokens.get(i + 1).and_then(|s| s.parse().ok());
+                    i += 2;
+                }
+                "python" | "python3" => {
+                    file = tokens.get(i + 1).copied();
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        let (Some(np), Some(file)) = (np, file) else {
+            return vec![format!("mpirun: usage: mpirun -np N python FILE")];
+        };
+        if !self.files.contains_key(file) {
+            return vec![format!("python: can't open file '{file}': no such file")];
+        }
+        let Some(id) = self.programs.get(file) else {
+            return vec![format!("(runtime has no registered program for '{file}')")];
+        };
+        match pdc_patternlets::registry::find(id) {
+            Some(p) => p.run(np).lines,
+            None => vec![format!("(unknown patternlet id '{id}')")],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmd_cellbook() -> (Notebook, NotebookRuntime) {
+        let mut nb = Notebook::new("mpi4py_patternlets.ipynb");
+        nb.push_markdown("## Single Program, Multiple Data");
+        nb.push_code(&format!(
+            "%%writefile 00spmd.py\n{}",
+            pdc_patternlets::registry::find("mp.spmd").unwrap().source
+        ));
+        nb.push_code("!mpirun --allow-run-as-root -np 4 python 00spmd.py");
+        let mut rt = NotebookRuntime::new();
+        rt.register_file("00spmd.py", "mp.spmd");
+        (nb, rt)
+    }
+
+    #[test]
+    fn writefile_then_mpirun_produces_greetings() {
+        let (mut nb, mut rt) = spmd_cellbook();
+        rt.execute(&mut nb);
+        let Cell::Code { outputs, .. } = &nb.cells[1] else {
+            panic!("expected code cell");
+        };
+        assert_eq!(outputs, &vec!["Writing 00spmd.py".to_owned()]);
+        let Cell::Code { outputs, .. } = &nb.cells[2] else {
+            panic!("expected code cell");
+        };
+        assert_eq!(outputs.len(), 4);
+        let mut sorted = outputs.clone();
+        sorted.sort();
+        for (r, line) in sorted.iter().enumerate() {
+            assert_eq!(
+                line,
+                &format!("Greetings from process {r} of 4 on d6ff4f902ed6")
+            );
+        }
+    }
+
+    #[test]
+    fn rerun_reports_overwrite() {
+        let (mut nb, mut rt) = spmd_cellbook();
+        rt.execute(&mut nb);
+        rt.execute(&mut nb);
+        let Cell::Code { outputs, .. } = &nb.cells[1] else {
+            panic!()
+        };
+        assert_eq!(outputs, &vec!["Overwriting 00spmd.py".to_owned()]);
+    }
+
+    #[test]
+    fn mpirun_missing_file_errors() {
+        let mut rt = NotebookRuntime::new();
+        let out = rt.execute_source("!mpirun -np 2 python nope.py");
+        assert!(out[0].contains("can't open file"));
+    }
+
+    #[test]
+    fn mpirun_unregistered_file_reports() {
+        let mut rt = NotebookRuntime::new();
+        rt.execute_source("%%writefile a.py\nprint('hi')");
+        let out = rt.execute_source("!mpirun -np 2 python a.py");
+        assert!(out[0].contains("no registered program"));
+    }
+
+    #[test]
+    fn unsupported_shell_command() {
+        let mut rt = NotebookRuntime::new();
+        let out = rt.execute_source("!rm -rf /");
+        assert!(out[0].contains("not supported"));
+    }
+
+    #[test]
+    fn np_flag_variants() {
+        let mut rt = NotebookRuntime::new();
+        rt.register_file("p.py", "mp.spmd");
+        rt.execute_source("%%writefile p.py\n# body");
+        let out = rt.execute_source("!mpirun -n 3 python3 p.py");
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn ipynb_is_valid_nbformat4_json() {
+        let (mut nb, mut rt) = spmd_cellbook();
+        rt.execute(&mut nb);
+        let raw = nb.to_ipynb();
+        let v: serde_json::Value = serde_json::from_str(&raw).unwrap();
+        assert_eq!(v["nbformat"], 4);
+        assert_eq!(v["cells"].as_array().unwrap().len(), 3);
+        assert_eq!(v["cells"][0]["cell_type"], "markdown");
+        assert_eq!(v["cells"][2]["outputs"][0]["output_type"], "stream");
+        let text = v["cells"][2]["outputs"][0]["text"].as_array().unwrap();
+        assert_eq!(text.len(), 4);
+    }
+
+    #[test]
+    fn file_contents_preserved() {
+        let (mut nb, mut rt) = spmd_cellbook();
+        rt.execute(&mut nb);
+        let body = rt.file("00spmd.py").unwrap();
+        assert!(body.contains("from mpi4py import MPI"));
+        assert!(body.contains("Get_processor_name"));
+    }
+}
+
+#[cfg(test)]
+mod import_tests {
+    use super::*;
+
+    #[test]
+    fn ipynb_round_trips_exactly() {
+        let (mut nb, mut rt) = {
+            let mut nb = Notebook::new("roundtrip.ipynb");
+            nb.push_markdown("## A heading\nwith two lines");
+            nb.push_code("%%writefile f.py\nprint('x')");
+            nb.push_code("!mpirun -np 2 python f.py");
+            let mut rt = NotebookRuntime::new();
+            rt.register_file("f.py", "mp.spmd");
+            (nb, rt)
+        };
+        rt.execute(&mut nb);
+        let back = Notebook::from_ipynb(&nb.to_ipynb()).unwrap();
+        assert_eq!(back, nb);
+    }
+
+    #[test]
+    fn import_rejects_wrong_format() {
+        assert!(Notebook::from_ipynb("not json").is_err());
+        assert!(Notebook::from_ipynb("{\"nbformat\": 3, \"cells\": []}").is_err());
+        let bad_cell = r#"{"nbformat":4,"cells":[{"cell_type":"raw","source":[]}]}"#;
+        assert!(Notebook::from_ipynb(bad_cell).unwrap_err().contains("raw"));
+    }
+
+    #[test]
+    fn import_accepts_string_sources() {
+        // nbformat allows source as a plain string, not only line arrays.
+        let doc = r#"{
+            "nbformat": 4,
+            "metadata": {"colab": {"name": "s.ipynb"}},
+            "cells": [{"cell_type": "code", "source": "x = 1\ny = 2", "outputs": []}]
+        }"#;
+        let nb = Notebook::from_ipynb(doc).unwrap();
+        assert_eq!(nb.title, "s.ipynb");
+        assert_eq!(
+            nb.cells[0],
+            Cell::Code {
+                source: "x = 1\ny = 2".into(),
+                outputs: vec![]
+            }
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Parsons problems: reassemble a shuffled program from its lines.
+//!
+//! Runestone's `parsonsprob` directive, the fourth interactive question
+//! kind the platform offers; ideal for patternlets, whose whole point is
+//! that the *structure* of a tiny program carries the pattern.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activity::Graded;
+
+/// A Parsons (code-reordering) problem.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parsons {
+    /// Stable activity id.
+    pub id: String,
+    /// Prompt.
+    pub prompt: String,
+    /// The program's lines in correct order.
+    pub solution: Vec<String>,
+    /// Distractor lines that belong nowhere.
+    pub distractors: Vec<String>,
+}
+
+impl Parsons {
+    /// The lines as presented to the learner: solution + distractors in
+    /// a deterministic shuffled order (seeded by the id so every learner
+    /// of one problem sees the same scramble, like Runestone).
+    pub fn presented_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .solution
+            .iter()
+            .chain(self.distractors.iter())
+            .cloned()
+            .collect();
+        // Deterministic Fisher-Yates driven by an FNV hash of the id.
+        let mut state = self.id.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+        let n = lines.len();
+        for i in (1..n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state % (i as u64 + 1)) as usize;
+            lines.swap(i, j);
+        }
+        lines
+    }
+
+    /// Grade an answer: the learner's chosen lines, in their order.
+    /// Correct iff it equals the solution exactly (distractors excluded,
+    /// order right).
+    pub fn grade(&self, answer: &[String]) -> Graded {
+        if answer.iter().any(|l| self.distractors.contains(l)) {
+            return Graded {
+                correct: false,
+                feedback: "One of those lines doesn't belong in the program at all.".into(),
+            };
+        }
+        if answer == self.solution.as_slice() {
+            Graded {
+                correct: true,
+                feedback: "The program is assembled correctly!".into(),
+            }
+        } else if answer.len() != self.solution.len() {
+            Graded {
+                correct: false,
+                feedback: format!(
+                    "The program needs exactly {} lines; you used {}.",
+                    self.solution.len(),
+                    answer.len()
+                ),
+            }
+        } else {
+            let first_wrong = answer
+                .iter()
+                .zip(&self.solution)
+                .position(|(a, b)| a != b)
+                .expect("same length, not equal");
+            Graded {
+                correct: false,
+                feedback: format!("Line {} is out of place.", first_wrong + 1),
+            }
+        }
+    }
+
+    /// A ready-made Parsons problem: reassemble the SPMD patternlet.
+    pub fn spmd_problem() -> Self {
+        Self {
+            id: "parsons_spmd".into(),
+            prompt: "Arrange the lines to print a greeting from every MPI process.".into(),
+            solution: vec![
+                "from mpi4py import MPI".into(),
+                "comm = MPI.COMM_WORLD".into(),
+                "id = comm.Get_rank()".into(),
+                "numProcesses = comm.Get_size()".into(),
+                "print(\"Greetings from process {} of {}\".format(id, numProcesses))".into(),
+            ],
+            distractors: vec!["comm.barrier(id)".into(), "id = comm.Get_size()".into()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_order_accepted() {
+        let p = Parsons::spmd_problem();
+        let g = p.grade(&p.solution.clone());
+        assert!(g.correct, "{}", g.feedback);
+    }
+
+    #[test]
+    fn wrong_order_points_at_first_bad_line() {
+        let p = Parsons::spmd_problem();
+        let mut ans = p.solution.clone();
+        ans.swap(1, 2);
+        let g = p.grade(&ans);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("Line 2"));
+    }
+
+    #[test]
+    fn distractor_usage_flagged() {
+        let p = Parsons::spmd_problem();
+        let mut ans = p.solution.clone();
+        ans[2] = "id = comm.Get_size()".into();
+        let g = p.grade(&ans);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("doesn't belong"));
+    }
+
+    #[test]
+    fn wrong_length_flagged() {
+        let p = Parsons::spmd_problem();
+        let g = p.grade(&p.solution[..3]);
+        assert!(!g.correct);
+        assert!(g.feedback.contains("exactly 5 lines"));
+    }
+
+    #[test]
+    fn presented_lines_contain_everything_scrambled() {
+        let p = Parsons::spmd_problem();
+        let shown = p.presented_lines();
+        assert_eq!(shown.len(), 7);
+        for l in p.solution.iter().chain(&p.distractors) {
+            assert!(shown.contains(l), "missing {l}");
+        }
+        assert_ne!(shown[..5], p.solution[..], "must actually scramble");
+    }
+
+    #[test]
+    fn scramble_is_deterministic_per_id() {
+        let p = Parsons::spmd_problem();
+        assert_eq!(p.presented_lines(), p.presented_lines());
+        let mut p2 = p.clone();
+        p2.id = "other".into();
+        assert_ne!(p.presented_lines(), p2.presented_lines());
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text renderers for modules and notebooks — these regenerate the
+//! *views* shown in the paper's Figure 1 (a Runestone section) and
+//! Figure 2 (a Colab notebook fragment).
+
+use crate::activity::Activity;
+use crate::module::{Block, Module, Section};
+use crate::notebook::{Cell, Notebook};
+
+/// Render one module section the way Runestone displays it: numbered
+/// heading, prose, a video player placeholder with its timestamp, code
+/// listings, and interactive questions with lettered options.
+pub fn render_section(section: &Section) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} {}\n\n", section.number, section.title));
+    for block in &section.blocks {
+        match block {
+            Block::Text(text) => {
+                out.push_str(text);
+                out.push_str("\n\n");
+            }
+            Block::Video(v) => {
+                out.push_str(&format!(
+                    "[ ▶ video: {} — 0:00/{} ]\n\n",
+                    v.title,
+                    v.duration_label()
+                ));
+            }
+            Block::Code {
+                language, listing, ..
+            } => {
+                out.push_str(&format!("```{language}\n{listing}\n```\n\n"));
+            }
+            Block::Activity(a) => {
+                out.push_str(&render_activity(a));
+                out.push('\n');
+            }
+            Block::ActiveCode(ac) => {
+                out.push_str(&format!("[ Run ] {} (n = {})\n", ac.patternlet_id, ac.n));
+                for line in &ac.output {
+                    out.push_str(&format!(" »  {line}\n"));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Render an activity as Runestone displays it.
+pub fn render_activity(activity: &Activity) -> String {
+    match activity {
+        Activity::MultipleChoice(mc) => {
+            let mut out = format!("Q: {}\n", mc.prompt);
+            for c in &mc.choices {
+                out.push_str(&format!("  ( ) {}. {}\n", c.label, c.text));
+            }
+            out.push_str(&format!("  [Check me]    Activity: {}\n", mc.id));
+            out
+        }
+        Activity::FillInBlank(f) => {
+            format!("Q: {}\n  [________]    Activity: {}\n", f.prompt, f.id)
+        }
+        Activity::DragAndDrop(d) => {
+            let mut out = format!("Q: {} (drag to match)\n", d.prompt);
+            for (term, _) in &d.pairs {
+                out.push_str(&format!("  [{term}] → ___\n"));
+            }
+            out.push_str(&format!("  Activity: {}\n", d.id));
+            out
+        }
+        Activity::Parsons(p) => {
+            let mut out = format!("Q: {} (drag lines into order)\n", p.prompt);
+            for line in p.presented_lines() {
+                out.push_str(&format!("  ┃ {line}\n"));
+            }
+            out.push_str(&format!("  Activity: {}\n", p.id));
+            out
+        }
+    }
+}
+
+/// Render the module's table of contents.
+pub fn render_toc(module: &Module) -> String {
+    let mut out = format!("{} ({} min)\n", module.title, module.duration_min);
+    for ch in &module.chapters {
+        out.push_str(&format!("  {}. {}\n", ch.number, ch.title));
+        for s in &ch.sections {
+            out.push_str(&format!("    {} {}\n", s.number, s.title));
+        }
+    }
+    out
+}
+
+/// Render a notebook the way Colab displays it: markdown flows, code
+/// cells are boxed with `[ ]` prompts, outputs follow.
+pub fn render_notebook(notebook: &Notebook) -> String {
+    let mut out = format!("≡ {}\n\n", notebook.title);
+    for cell in &notebook.cells {
+        match cell {
+            Cell::Markdown(text) => {
+                out.push_str(text);
+                out.push_str("\n\n");
+            }
+            Cell::Code { source, outputs } => {
+                for (i, line) in source.lines().enumerate() {
+                    if i == 0 {
+                        out.push_str(&format!("[ ] {line}\n"));
+                    } else {
+                        out.push_str(&format!("    {line}\n"));
+                    }
+                }
+                for line in outputs {
+                    out.push_str(&format!(" »  {line}\n"));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Choice, MultipleChoice};
+    use crate::module::Video;
+
+    #[test]
+    fn section_render_includes_everything() {
+        let section = Section {
+            number: "2.3".into(),
+            title: "Race Conditions".into(),
+            blocks: vec![
+                Block::Text(
+                    "The following video will help you understand what is going on:".into(),
+                ),
+                Block::Video(Video {
+                    title: "Race conditions".into(),
+                    duration_s: 122,
+                }),
+                Block::Activity(Activity::MultipleChoice(MultipleChoice {
+                    id: "sp_mc_2".into(),
+                    prompt: "What is a race condition?".into(),
+                    choices: vec![Choice {
+                        label: "A".into(),
+                        text: "…".into(),
+                        feedback: String::new(),
+                    }],
+                    correct: 0,
+                })),
+            ],
+        };
+        let text = render_section(&section);
+        assert!(text.starts_with("2.3 Race Conditions"));
+        assert!(text.contains("0:00/2:02"));
+        assert!(text.contains("What is a race condition?"));
+        assert!(text.contains("[Check me]"));
+        assert!(text.contains("Activity: sp_mc_2"));
+    }
+
+    #[test]
+    fn notebook_render_shows_prompts_and_outputs() {
+        let mut nb = Notebook::new("mpi4py_patternlets.ipynb");
+        nb.push_markdown("## Single Program, Multiple Data");
+        nb.cells.push(Cell::Code {
+            source: "!mpirun -np 4 python 00spmd.py".into(),
+            outputs: vec!["Greetings from process 0 of 4 on d6ff4f902ed6".into()],
+        });
+        let text = render_notebook(&nb);
+        assert!(text.contains("≡ mpi4py_patternlets.ipynb"));
+        assert!(text.contains("[ ] !mpirun -np 4 python 00spmd.py"));
+        assert!(text.contains(" »  Greetings from process 0 of 4"));
+    }
+
+    #[test]
+    fn toc_lists_chapters_and_sections() {
+        let module = Module {
+            title: "Raspberry Pi Virtual Handout".into(),
+            duration_min: 120,
+            chapters: vec![crate::module::Chapter {
+                number: 1,
+                title: "Setup".into(),
+                sections: vec![Section {
+                    number: "1.1".into(),
+                    title: "Flashing the image".into(),
+                    blocks: vec![],
+                }],
+            }],
+        };
+        let toc = render_toc(&module);
+        assert!(toc.contains("Raspberry Pi Virtual Handout (120 min)"));
+        assert!(toc.contains("1. Setup"));
+        assert!(toc.contains("1.1 Flashing the image"));
+    }
+}

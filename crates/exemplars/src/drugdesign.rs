@@ -1,0 +1,360 @@
+//! The drug-design exemplar.
+//!
+//! From the CSinParallel exemplars the paper's modules use in their final
+//! half hour: generate a population of random *ligands* (short strings
+//! over an amino-acid-like alphabet), score each against a fixed
+//! *protein* string — the score is the length of the longest common
+//! subsequence — and report the maximum score and all ligands achieving
+//! it. Scoring cost grows with ligand length × protein length, so task
+//! costs are irregular: the exemplar that motivates **dynamic
+//! scheduling** (shared memory) and **master-worker dealing** (message
+//! passing).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use pdc_mpc::{Source, TagSel, World};
+use pdc_shmem::{parallel_for, Schedule, Team};
+
+/// Alphabet the generator draws from (as in the CSinParallel original).
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// Workload configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrugConfig {
+    /// Number of ligands to generate and score.
+    pub num_ligands: usize,
+    /// Maximum ligand length (lengths are drawn from 2..=max_len).
+    pub max_len: usize,
+    /// The protein to score against.
+    pub protein: String,
+    /// RNG seed (same seed ⇒ same ligands ⇒ same result everywhere).
+    pub seed: u64,
+}
+
+impl Default for DrugConfig {
+    /// The workshop-scale default: 120 ligands of length ≤ 6 against a
+    /// 240-character protein.
+    fn default() -> Self {
+        Self {
+            num_ligands: 120,
+            max_len: 6,
+            protein: make_protein(240, 0xC51F),
+            seed: 2020,
+        }
+    }
+}
+
+/// Result: the best score and every ligand achieving it (sorted).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrugResult {
+    /// Highest score found.
+    pub max_score: usize,
+    /// All ligands attaining `max_score`, lexicographically sorted.
+    pub best_ligands: Vec<String>,
+}
+
+/// Deterministically generate a protein of length `len` from `seed`.
+pub fn make_protein(len: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+/// Generate the ligand population for a config. Ligand `i` depends only
+/// on `(seed, i)`, so any partitioning of the population across workers
+/// sees identical strings.
+pub fn make_ligands(config: &DrugConfig) -> Vec<String> {
+    (0..config.num_ligands)
+        .map(|i| {
+            let mut rng =
+                StdRng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let len = rng.gen_range(2..=config.max_len);
+            (0..len)
+                .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+                .collect()
+        })
+        .collect()
+}
+
+/// Score a ligand against a protein: longest-common-subsequence length
+/// (the CSinParallel exemplar's matching function). O(|ligand|·|protein|)
+/// time, two-row DP.
+pub fn score(ligand: &str, protein: &str) -> usize {
+    let l: &[u8] = ligand.as_bytes();
+    let p: &[u8] = protein.as_bytes();
+    if l.is_empty() || p.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; p.len() + 1];
+    let mut cur = vec![0usize; p.len() + 1];
+    for &lc in l {
+        for (j, &pc) in p.iter().enumerate() {
+            cur[j + 1] = if lc == pc {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[p.len()]
+}
+
+fn collect_best(scored: Vec<(usize, String)>) -> DrugResult {
+    let max_score = scored.iter().map(|(s, _)| *s).max().unwrap_or(0);
+    let mut best_ligands: Vec<String> = scored
+        .into_iter()
+        .filter(|(s, _)| *s == max_score)
+        .map(|(_, l)| l)
+        .collect();
+    best_ligands.sort();
+    best_ligands.dedup();
+    DrugResult {
+        max_score,
+        best_ligands,
+    }
+}
+
+/// Sequential baseline.
+pub fn run_seq(config: &DrugConfig) -> DrugResult {
+    let scored = make_ligands(config)
+        .into_iter()
+        .map(|l| (score(&l, &config.protein), l))
+        .collect();
+    collect_best(scored)
+}
+
+/// Shared-memory version: the scoring loop is work-shared under the given
+/// schedule (dynamic balances the irregular scoring costs).
+pub fn run_shmem(config: &DrugConfig, team: &Team, schedule: Schedule) -> DrugResult {
+    let ligands = make_ligands(config);
+    let scores: Vec<parking_lot_free::Slot> = (0..ligands.len())
+        .map(|_| parking_lot_free::Slot::new())
+        .collect();
+    parallel_for(team, 0..ligands.len(), schedule, |i, _| {
+        scores[i].set(score(&ligands[i], &config.protein));
+    });
+    let scored = ligands
+        .into_iter()
+        .enumerate()
+        .map(|(i, l)| (scores[i].get(), l))
+        .collect();
+    collect_best(scored)
+}
+
+/// Tiny lock-free write-once cell so the parallel loop can publish one
+/// score per index without locks (each index is written exactly once).
+mod parking_lot_free {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const UNSET: usize = usize::MAX;
+
+    /// Write-once score slot.
+    pub struct Slot(AtomicUsize);
+
+    impl Slot {
+        /// New, unset.
+        pub fn new() -> Self {
+            Slot(AtomicUsize::new(UNSET))
+        }
+        /// Publish the value (must happen exactly once).
+        pub fn set(&self, v: usize) {
+            debug_assert_ne!(v, UNSET);
+            let prev = self.0.swap(v, Ordering::Release);
+            debug_assert_eq!(prev, UNSET, "slot written twice");
+        }
+        /// Read the published value.
+        pub fn get(&self) -> usize {
+            let v = self.0.load(Ordering::Acquire);
+            assert_ne!(v, UNSET, "slot never written");
+            v
+        }
+    }
+}
+
+/// Message-passing version: the master-worker pattern. Rank 0 deals
+/// ligand indices on demand; workers score and return `(index, score)`;
+/// the master assembles the result and broadcasts it.
+pub fn run_mpc(config: &DrugConfig, np: usize) -> DrugResult {
+    assert!(np >= 1);
+    if np == 1 {
+        return run_seq(config);
+    }
+    let ligands = make_ligands(config);
+    let results = World::new(np).run(|comm| {
+        const TAG_READY: i32 = 0;
+        const TAG_TASK: i32 = 1;
+        const TAG_RESULT: i32 = 2;
+        if comm.rank() == 0 {
+            let mut scored: Vec<(usize, String)> = Vec::with_capacity(ligands.len());
+            let mut next = 0usize;
+            let mut outstanding = 0usize;
+            let mut idle: Vec<usize> = Vec::new();
+            // Prime: wait for ready messages, deal indices, collect results.
+            while scored.len() < ligands.len() {
+                let (msg, st) = comm
+                    .recv_status::<WorkerMsg>(Source::Any, TagSel::Any)
+                    .unwrap();
+                match msg {
+                    WorkerMsg::Ready => {
+                        if next < ligands.len() {
+                            comm.send(st.source, TAG_TASK, &(next as i64)).unwrap();
+                            next += 1;
+                            outstanding += 1;
+                        } else {
+                            idle.push(st.source);
+                        }
+                    }
+                    WorkerMsg::Result { index, score } => {
+                        scored.push((score, ligands[index].clone()));
+                        outstanding -= 1;
+                    }
+                }
+            }
+            debug_assert_eq!(outstanding, 0);
+            // Dismiss all workers (those already idle plus future readies).
+            let mut dismissed = idle.len();
+            for w in idle {
+                comm.send(w, TAG_TASK, &-1i64).unwrap();
+            }
+            while dismissed < comm.size() - 1 {
+                let (msg, st) = comm
+                    .recv_status::<WorkerMsg>(Source::Any, TagSel::Tag(TAG_READY))
+                    .unwrap();
+                debug_assert!(matches!(msg, WorkerMsg::Ready));
+                comm.send(st.source, TAG_TASK, &-1i64).unwrap();
+                dismissed += 1;
+            }
+            let result = collect_best(scored);
+            comm.bcast(0, Some(result)).unwrap()
+        } else {
+            loop {
+                comm.send(0, TAG_READY, &WorkerMsg::Ready).unwrap();
+                let idx: i64 = comm.recv(0, TAG_TASK).unwrap();
+                if idx < 0 {
+                    break;
+                }
+                let i = idx as usize;
+                let s = score(&ligands[i], &config.protein);
+                comm.send(0, TAG_RESULT, &WorkerMsg::Result { index: i, score: s })
+                    .unwrap();
+            }
+            comm.bcast::<DrugResult>(0, None).unwrap()
+        }
+    });
+    results.into_iter().next().expect("at least one rank")
+}
+
+/// Worker-to-master protocol messages.
+#[derive(Debug, Serialize, Deserialize)]
+enum WorkerMsg {
+    /// "Give me work."
+    Ready,
+    /// A completed scoring task.
+    Result {
+        /// Ligand index.
+        index: usize,
+        /// Its score.
+        score: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_lcs() {
+        assert_eq!(score("abc", "abc"), 3);
+        assert_eq!(score("abc", "xaxbxc"), 3);
+        assert_eq!(score("acb", "abc"), 2);
+        assert_eq!(score("xyz", "abc"), 0);
+        assert_eq!(score("", "abc"), 0);
+        assert_eq!(score("abc", ""), 0);
+    }
+
+    #[test]
+    fn score_bounded_by_ligand_length() {
+        let protein = make_protein(100, 7);
+        for lig in ["ab", "hello", "qqqqqq"] {
+            assert!(score(lig, &protein) <= lig.len());
+        }
+    }
+
+    #[test]
+    fn ligand_generation_is_deterministic_and_bounded() {
+        let config = DrugConfig::default();
+        let a = make_ligands(&config);
+        let b = make_ligands(&config);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 120);
+        for l in &a {
+            assert!(l.len() >= 2 && l.len() <= 6, "{l}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c2 = DrugConfig {
+            seed: 99,
+            ..Default::default()
+        };
+        assert_ne!(make_ligands(&DrugConfig::default()), make_ligands(&c2));
+    }
+
+    #[test]
+    fn seq_result_is_consistent() {
+        let config = DrugConfig::default();
+        let r = run_seq(&config);
+        assert!(r.max_score > 0);
+        assert!(!r.best_ligands.is_empty());
+        // Every winner really has the max score.
+        for l in &r.best_ligands {
+            assert_eq!(score(l, &config.protein), r.max_score);
+        }
+    }
+
+    #[test]
+    fn shmem_matches_seq_under_all_schedules() {
+        let config = DrugConfig::default();
+        let want = run_seq(&config);
+        for schedule in [
+            Schedule::default(),
+            Schedule::round_robin(),
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            for threads in [1, 2, 4] {
+                let got = run_shmem(&config, &Team::new(threads), schedule);
+                assert_eq!(got, want, "threads={threads} {schedule:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mpc_matches_seq() {
+        let config = DrugConfig {
+            num_ligands: 40,
+            ..DrugConfig::default()
+        };
+        let want = run_seq(&config);
+        for np in [1, 2, 3, 5] {
+            let got = run_mpc(&config, np);
+            assert_eq!(got, want, "np={np}");
+        }
+    }
+
+    #[test]
+    fn tiny_population() {
+        let config = DrugConfig {
+            num_ligands: 1,
+            ..DrugConfig::default()
+        };
+        let r = run_seq(&config);
+        assert_eq!(r.best_ligands.len(), 1);
+        assert_eq!(run_mpc(&config, 3), r);
+    }
+}

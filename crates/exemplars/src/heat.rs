@@ -1,0 +1,303 @@
+//! Heat diffusion on a rod — the halo-exchange exemplar.
+//!
+//! An extension exemplar in the CSinParallel style (the family's stencil
+//! workload): explicit finite-difference diffusion on a 1-D rod with
+//! fixed end temperatures. Unlike the modules' embarrassingly parallel
+//! exemplars, the distributed version **requires communication every
+//! step** — each rank owns a block of cells and must exchange one-cell
+//! halos with its grid neighbours — making it the concrete realization
+//! of the platform model's `CommShape::Halo` cost term.
+//!
+//! Physics kept honest: with `alpha <= 0.5` the explicit scheme is
+//! stable, and the steady state is the linear profile between the end
+//! temperatures, which the tests verify.
+
+use serde::{Deserialize, Serialize};
+
+use pdc_mpc::{CartComm, World};
+use pdc_shmem::{parallel_for_each_indexed, Schedule, Team};
+
+/// Rod configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatConfig {
+    /// Interior cell count (boundaries excluded).
+    pub cells: usize,
+    /// Left boundary temperature.
+    pub left: f64,
+    /// Right boundary temperature.
+    pub right: f64,
+    /// Initial interior temperature.
+    pub initial: f64,
+    /// Diffusion coefficient (`<= 0.5` for stability).
+    pub alpha: f64,
+    /// Time steps.
+    pub steps: usize,
+}
+
+impl Default for HeatConfig {
+    /// A 100-cell rod, hot left end, 2000 steps.
+    fn default() -> Self {
+        Self {
+            cells: 100,
+            left: 100.0,
+            right: 0.0,
+            initial: 0.0,
+            alpha: 0.25,
+            steps: 2_000,
+        }
+    }
+}
+
+/// One explicit update of cell `i` given its neighbours.
+#[inline]
+fn stencil(alpha: f64, left: f64, centre: f64, right: f64) -> f64 {
+    centre + alpha * (left - 2.0 * centre + right)
+}
+
+/// Sequential baseline: the interior temperatures after `steps` updates.
+pub fn run_seq(config: &HeatConfig) -> Vec<f64> {
+    assert!(
+        config.alpha <= 0.5,
+        "explicit scheme unstable for alpha > 0.5"
+    );
+    assert!(config.cells >= 1);
+    let n = config.cells;
+    let mut u = vec![config.initial; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..config.steps {
+        for i in 0..n {
+            let l = if i == 0 { config.left } else { u[i - 1] };
+            let r = if i + 1 == n { config.right } else { u[i + 1] };
+            next[i] = stencil(config.alpha, l, u[i], r);
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u
+}
+
+/// Shared-memory version: each step's cell updates are a parallel loop
+/// over a double buffer.
+pub fn run_shmem(config: &HeatConfig, team: &Team) -> Vec<f64> {
+    assert!(config.alpha <= 0.5);
+    let n = config.cells;
+    let mut u = vec![config.initial; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..config.steps {
+        {
+            let u_ref = &u;
+            parallel_for_each_indexed(team, Schedule::default(), &mut next, |i, slot| {
+                let l = if i == 0 { config.left } else { u_ref[i - 1] };
+                let r = if i + 1 == n {
+                    config.right
+                } else {
+                    u_ref[i + 1]
+                };
+                *slot = stencil(config.alpha, l, u_ref[i], r);
+            });
+        }
+        std::mem::swap(&mut u, &mut next);
+    }
+    u
+}
+
+/// Message-passing version: blocks of cells per rank on a 1-D Cartesian
+/// grid; every step exchanges one-cell halos with both neighbours via
+/// `sendrecv` (deadlock-free), then updates the block. Rank 0 gathers
+/// and returns the assembled rod; all ranks receive it via bcast.
+pub fn run_mpc(config: &HeatConfig, np: usize) -> Vec<f64> {
+    assert!(config.alpha <= 0.5);
+    assert!(np >= 1);
+    let results = World::new(np).run(|comm| {
+        let n = config.cells;
+        let cart = CartComm::create(comm, &[np], &[false]).expect("1-D grid");
+        let comm = cart.comm().clone();
+        let rank = comm.rank();
+        let per = n / np;
+        let extra = n % np;
+        let mine = per + usize::from(rank < extra);
+        let start = rank * per + rank.min(extra);
+
+        let mut block = vec![config.initial; mine];
+        let mut next = vec![0.0; mine];
+        let (left_nb, right_nb) = cart.shift(0, 1);
+
+        for _ in 0..config.steps {
+            // Halo exchange: send my edge cells, receive neighbours'.
+            // Empty blocks (np > n) forward the boundary instead.
+            let my_left_edge = block.first().copied();
+            let my_right_edge = block.last().copied();
+            let left_halo = match left_nb {
+                Some(l) => {
+                    let (v, _) = comm
+                        .sendrecv::<Option<f64>, Option<f64>>(l, 0, &my_left_edge, l, 1)
+                        .expect("halo exchange");
+                    v
+                }
+                None => Some(config.left),
+            };
+            let right_halo = match right_nb {
+                Some(r) => {
+                    let (v, _) = comm
+                        .sendrecv::<Option<f64>, Option<f64>>(r, 1, &my_right_edge, r, 0)
+                        .expect("halo exchange");
+                    v
+                }
+                None => Some(config.right),
+            };
+            // With nonuniform block sizes an empty neighbour can pass on
+            // None; treat a missing halo as the global boundary (only
+            // possible when the neighbour owns zero cells, i.e. the
+            // boundary shines through).
+            let lh = left_halo.unwrap_or(config.left);
+            let rh = right_halo.unwrap_or(config.right);
+
+            for i in 0..mine {
+                let l = if i == 0 { lh } else { block[i - 1] };
+                let r = if i + 1 == mine { rh } else { block[i + 1] };
+                next[i] = stencil(config.alpha, l, block[i], r);
+            }
+            std::mem::swap(&mut block, &mut next);
+        }
+
+        let gathered = comm.gather(0, (start, block)).expect("gather blocks");
+        let rod = gathered.map(|blocks| {
+            let mut rod = vec![0.0; n];
+            for (s, b) in blocks {
+                rod[s..s + b.len()].copy_from_slice(&b);
+            }
+            rod
+        });
+        comm.bcast(0, rod).expect("bcast rod")
+    });
+    results.into_iter().next().expect("at least one rank")
+}
+
+/// The analytic steady state: the linear profile between the boundary
+/// temperatures, sampled at the interior cell centres.
+pub fn steady_state(config: &HeatConfig) -> Vec<f64> {
+    let n = config.cells;
+    (0..n)
+        .map(|i| {
+            let x = (i + 1) as f64 / (n + 1) as f64;
+            config.left + (config.right - config.left) * x
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> HeatConfig {
+        HeatConfig {
+            cells: 40,
+            steps: 400,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn temperatures_stay_bounded_by_the_boundaries() {
+        // Maximum principle: with initial inside [right, left], every
+        // temperature stays inside [min, max] of boundary/initial values.
+        let u = run_seq(&quick());
+        for (i, &t) in u.iter().enumerate() {
+            assert!((0.0..=100.0).contains(&t), "cell {i}: {t}");
+        }
+    }
+
+    #[test]
+    fn profile_is_monotone_from_hot_to_cold() {
+        let u = run_seq(&quick());
+        for w in u.windows(2) {
+            assert!(
+                w[0] >= w[1] - 1e-9,
+                "heat flows downhill: {} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_the_linear_steady_state() {
+        let config = HeatConfig {
+            cells: 20,
+            steps: 20_000,
+            ..Default::default()
+        };
+        let u = run_seq(&config);
+        let exact = steady_state(&config);
+        for (i, (&got, &want)) in u.iter().zip(&exact).enumerate() {
+            assert!(
+                (got - want).abs() < 0.01,
+                "cell {i}: {got} vs steady {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn shmem_matches_seq_bitwise() {
+        let config = quick();
+        let want = run_seq(&config);
+        for threads in [1, 2, 4] {
+            assert_eq!(run_shmem(&config, &Team::new(threads)), want, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn mpc_matches_seq_bitwise() {
+        let config = HeatConfig {
+            cells: 23, // deliberately not divisible
+            steps: 60,
+            ..Default::default()
+        };
+        let want = run_seq(&config);
+        for np in [1, 2, 3, 4, 5] {
+            assert_eq!(run_mpc(&config, np), want, "np={np}");
+        }
+    }
+
+    #[test]
+    fn single_cell_rod() {
+        let config = HeatConfig {
+            cells: 1,
+            steps: 1000,
+            ..Default::default()
+        };
+        let u = run_seq(&config);
+        // Steady state of one cell: average of boundaries.
+        assert!((u[0] - 50.0).abs() < 0.1, "{}", u[0]);
+        assert_eq!(run_mpc(&config, 2), u, "more ranks than cells");
+    }
+
+    #[test]
+    fn zero_steps_returns_initial() {
+        let config = HeatConfig {
+            steps: 0,
+            ..quick()
+        };
+        assert_eq!(run_seq(&config), vec![0.0; 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_alpha_rejected() {
+        run_seq(&HeatConfig {
+            alpha: 0.6,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn energy_approaches_steady_total() {
+        let config = HeatConfig {
+            cells: 30,
+            steps: 30_000,
+            ..Default::default()
+        };
+        let total: f64 = run_seq(&config).iter().sum();
+        let steady_total: f64 = steady_state(&config).iter().sum();
+        assert!((total - steady_total).abs() < 0.05);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # pdc-exemplars
+//!
+//! The three *exemplar* applications the paper's modules end with —
+//! complete programs (bigger than patternlets) whose run time is worth
+//! measuring, used for the hands-on benchmarking studies:
+//!
+//! * [`integration`] — **numerical integration** (Module A exemplar 1):
+//!   trapezoidal quadrature, the classic π computation. Embarrassingly
+//!   parallel; a reduction.
+//! * [`drugdesign`] — **drug design** (Module A exemplar 2 *and* a Module
+//!   B option): score randomly generated ligands against a protein by
+//!   longest-common-subsequence matching; find the best binders. Task
+//!   costs are irregular (score cost grows with ligand length), which
+//!   motivates dynamic scheduling and master-worker dealing.
+//! * [`forestfire`] — **forest-fire simulation** (Module B exemplar):
+//!   a probabilistic cellular automaton; Monte-Carlo sweep of burn
+//!   probability vs. final forest damage. The sweep's independent trials
+//!   distribute naturally over ranks.
+//!
+//! Every exemplar ships **three implementations** — sequential,
+//! shared-memory ([`pdc_shmem`]), and message-passing ([`pdc_mpc`]) — with
+//! seeded randomness arranged so all three produce *identical* results,
+//! making the parallelizations machine-checkably correct.
+
+pub mod drugdesign;
+pub mod forestfire;
+pub mod heat;
+pub mod integration;
+pub mod pandemic;
+pub mod sorting;
+
+pub use drugdesign::{DrugConfig, DrugResult};
+pub use forestfire::{FireConfig, FirePoint};
+pub use heat::HeatConfig;
+pub use integration::IntegrationResult;
+pub use pandemic::{DayStats, PandemicConfig};

@@ -1,0 +1,315 @@
+//! Parallel sorting — the curriculum-injection exemplar.
+//!
+//! The paper's §I argues for injecting PDC into existing courses: "an
+//! Algorithms course could include parallel sorting algorithms". This
+//! module is that injection, with the two classic teaching algorithms:
+//!
+//! * shared memory: **parallel merge sort** — sort per-thread blocks,
+//!   then merge pairwise up a tree (the divide-and-conquer the
+//!   Algorithms course already teaches, parallelized);
+//! * message passing: **odd-even transposition sort** — ranks hold
+//!   blocks; alternating phases exchange-and-split with left/right
+//!   neighbours until globally sorted (the canonical distributed sort
+//!   whose phase count `P` makes communication cost visible).
+//!
+//! Everything is written against a from-scratch sequential merge sort —
+//! no `slice::sort` anywhere — so the comparison is honest.
+
+use pdc_mpc::World;
+use pdc_shmem::Team;
+
+/// From-scratch sequential merge sort (top-down, one scratch buffer).
+pub fn merge_sort<T: Clone + Ord>(data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch = data.to_vec();
+    sort_into(data, &mut scratch);
+}
+
+fn sort_into<T: Clone + Ord>(data: &mut [T], scratch: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        sort_into(dl, sl);
+        sort_into(dr, sr);
+    }
+    // Merge the sorted halves into scratch, then copy back — the one
+    // preallocated buffer does the whole sort (no per-level temporaries).
+    merge(&data[..mid], &data[mid..], scratch);
+    data.clone_from_slice(scratch);
+}
+
+/// Merge two sorted slices into `out` (len must match).
+pub fn merge<T: Clone + Ord>(a: &[T], b: &[T], out: &mut [T]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+        if take_a {
+            *slot = a[i].clone();
+            i += 1;
+        } else {
+            *slot = b[j].clone();
+            j += 1;
+        }
+    }
+}
+
+/// Shared-memory parallel merge sort: each thread merge-sorts one
+/// contiguous block; blocks are merged pairwise up a tree (log₂ rounds).
+pub fn parallel_merge_sort<T: Clone + Ord + Send + Sync>(team: &Team, data: &mut [T]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let nthreads = team.num_threads().min(n).max(1);
+    // Block boundaries (balanced).
+    let bounds: Vec<usize> = (0..=nthreads)
+        .map(|t| t * (n / nthreads) + t.min(n % nthreads))
+        .collect();
+
+    // Phase 1: sort blocks in parallel (disjoint &mut slices).
+    {
+        let mut blocks: Vec<parking_lot::Mutex<Option<&mut [T]>>> = Vec::with_capacity(nthreads);
+        let mut rest = &mut *data;
+        for t in 0..nthreads {
+            let len = bounds[t + 1] - bounds[t];
+            let (head, tail) = rest.split_at_mut(len);
+            blocks.push(parking_lot::Mutex::new(Some(head)));
+            rest = tail;
+        }
+        let blocks = &blocks;
+        Team::new(nthreads).parallel(|ctx| {
+            let block = blocks[ctx.thread_num()]
+                .lock()
+                .take()
+                .expect("each block sorted once");
+            merge_sort(block);
+        });
+    }
+
+    // Phase 2: merge sorted runs pairwise until one run remains. Each
+    // round's merges are independent, so they run in parallel too.
+    let mut runs: Vec<(usize, usize)> = (0..nthreads).map(|t| (bounds[t], bounds[t + 1])).collect();
+    while runs.len() > 1 {
+        let pairs: Vec<((usize, usize), (usize, usize))> = runs
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| (c[0], c[1]))
+            .collect();
+        type MergeJob<'a, T> = parking_lot::Mutex<Option<(&'a mut [T], usize)>>;
+        let merged_slices: Vec<MergeJob<'_, T>> = {
+            // Give each merge job a &mut over its combined span.
+            let mut out = Vec::with_capacity(pairs.len());
+            let mut rest = &mut *data;
+            let mut offset = 0;
+            for &((a0, _), (_, b1)) in &pairs {
+                // Skip any gap before a0 (possible when an odd run was
+                // carried over in a previous round).
+                let skip = a0 - offset;
+                let (_, tail) = rest.split_at_mut(skip);
+                let (span, tail) = tail.split_at_mut(b1 - a0);
+                out.push(parking_lot::Mutex::new(Some((span, a0))));
+                rest = tail;
+                offset = b1;
+            }
+            out
+        };
+        {
+            let jobs = &merged_slices;
+            let pairs_ref = &pairs;
+            Team::new(pairs.len()).parallel(|ctx| {
+                let t = ctx.thread_num();
+                let (span, base) = jobs[t].lock().take().expect("each merge once");
+                let ((a0, a1), (_, _)) = pairs_ref[t];
+                let left = span[..a1 - a0].to_vec();
+                let right = span[a1 - a0..].to_vec();
+                let _ = base;
+                merge(&left, &right, span);
+            });
+        }
+        // Build next round's run list.
+        let mut next: Vec<(usize, usize)> =
+            pairs.iter().map(|&((a0, _), (_, b1))| (a0, b1)).collect();
+        if runs.len() % 2 == 1 {
+            next.push(*runs.last().expect("odd leftover run"));
+        }
+        runs = next;
+    }
+}
+
+/// Distributed odd-even transposition sort over `np` ranks.
+///
+/// Each rank merge-sorts its block, then for `np` phases alternately
+/// pairs with its left/right neighbour, exchanges blocks, merges, and
+/// keeps the low (left partner) or high (right partner) half. Returns
+/// the globally sorted data (gathered at rank 0, broadcast to all).
+pub fn odd_even_sort(data: &[u64], np: usize) -> Vec<u64> {
+    assert!(np >= 1);
+    if np == 1 || data.len() <= 1 {
+        let mut v = data.to_vec();
+        merge_sort(&mut v);
+        return v;
+    }
+    let results = World::new(np).run(|comm| {
+        let n = data.len();
+        let rank = comm.rank();
+        let size = comm.size();
+        let per = n / size;
+        let extra = n % size;
+        let mine = per + usize::from(rank < extra);
+        let start = rank * per + rank.min(extra);
+        let mut block: Vec<u64> = data[start..start + mine].to_vec();
+        merge_sort(&mut block);
+
+        // Alternate even/odd phases until a full round changes nothing
+        // anywhere (allreduce of per-rank "changed" flags). The textbook
+        // "exactly P phases" bound assumes equal block sizes; with the
+        // balanced-but-unequal blocks of n % P ≠ 0, convergence detection
+        // is the correct stopping rule (each changing round strictly
+        // reduces cross-block inversions, so it terminates).
+        let mut phase = 0usize;
+        loop {
+            let mut changed = false;
+            for _ in 0..2 {
+                // Even phase pairs (0,1)(2,3)…; odd phase pairs (1,2)….
+                let partner = if (phase + rank).is_multiple_of(2) {
+                    // I pair with my right neighbour. (NB: `.then(..)`,
+                    // not `.then_some(..)` — then_some evaluates its
+                    // argument eagerly, and `rank - 1` would underflow.)
+                    (rank + 1 < size).then(|| rank + 1)
+                } else {
+                    (rank > 0).then(|| rank - 1)
+                };
+                phase += 1;
+                let Some(partner) = partner else {
+                    continue;
+                };
+                let (theirs, _) = comm
+                    .sendrecv::<Vec<u64>, Vec<u64>>(partner, 0, &block, partner, 0)
+                    .expect("block exchange");
+                let mut combined = vec![0u64; block.len() + theirs.len()];
+                merge(&block, &theirs, &mut combined);
+                let new_block = if rank < partner {
+                    combined[..block.len()].to_vec() // keep the low half
+                } else {
+                    combined[combined.len() - block.len()..].to_vec() // high half
+                };
+                changed |= new_block != block;
+                block = new_block;
+            }
+            let any_changed = comm
+                .allreduce(changed, pdc_mpc::ops::lor)
+                .expect("convergence vote");
+            if !any_changed {
+                break;
+            }
+        }
+
+        let gathered = comm.gather(0, block).expect("gather blocks");
+        let sorted = gathered.map(|blocks| blocks.into_iter().flatten().collect::<Vec<u64>>());
+        comm.bcast(0, sorted).expect("bcast sorted")
+    });
+    results.into_iter().next().expect("at least one rank")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_data(n: usize, mut seed: u64) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed % 10_000
+            })
+            .collect()
+    }
+
+    fn is_sorted(v: &[u64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn merge_sort_sorts() {
+        let mut v = xorshift_data(257, 42);
+        let mut want = v.clone();
+        want.sort_unstable(); // std as the oracle, ours as the subject
+        merge_sort(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn merge_sort_edge_cases() {
+        let mut empty: Vec<u64> = vec![];
+        merge_sort(&mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![5u64];
+        merge_sort(&mut one);
+        assert_eq!(one, vec![5]);
+        let mut dup = vec![3u64, 3, 3, 1, 1];
+        merge_sort(&mut dup);
+        assert_eq!(dup, vec![1, 1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn merge_is_stable_shaped() {
+        let mut out = vec![0u64; 6];
+        merge(&[1, 3, 5], &[2, 3, 6], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 3, 5, 6]);
+    }
+
+    #[test]
+    fn parallel_merge_sort_matches_sequential() {
+        for n in [0usize, 1, 2, 10, 63, 64, 65, 500] {
+            let data = xorshift_data(n, 7);
+            let mut want = data.clone();
+            merge_sort(&mut want);
+            for threads in [1, 2, 3, 4, 5, 8] {
+                let mut v = data.clone();
+                parallel_merge_sort(&Team::new(threads), &mut v);
+                assert_eq!(v, want, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_sort_matches_sequential() {
+        for n in [0usize, 1, 9, 40, 101] {
+            let data = xorshift_data(n, 11);
+            let mut want = data.clone();
+            merge_sort(&mut want);
+            for np in [1, 2, 3, 4, 5] {
+                let got = odd_even_sort(&data, np);
+                assert_eq!(got, want, "n={n} np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_preserves_multiset() {
+        let data = xorshift_data(60, 3);
+        let got = odd_even_sort(&data, 4);
+        assert!(is_sorted(&got));
+        let mut a = data.clone();
+        let mut b = got.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "no elements invented or lost");
+    }
+
+    #[test]
+    fn more_ranks_than_elements() {
+        let data = vec![3u64, 1];
+        assert_eq!(odd_even_sort(&data, 5), vec![1, 3]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Cartesian process topologies — `MPI_Cart_create` and friends.
+//!
+//! Grid-structured exemplars (halo exchanges, block-decomposed stencils)
+//! want ranks arranged as an N-dimensional grid with neighbour lookup.
+//! This module provides the MPI topology trio:
+//!
+//! * [`dims_create`] — factor `nnodes` into a balanced `ndims` grid
+//!   (`MPI_Dims_create`).
+//! * [`CartComm`] — a communicator with grid coordinates
+//!   (`MPI_Cart_create`, row-major rank order like MPI).
+//! * [`CartComm::shift`] — neighbour ranks along a dimension
+//!   (`MPI_Cart_shift`), honouring periodic wrap-around.
+
+use crate::comm::Comm;
+use crate::error::{MpcError, Result};
+
+/// Factor `nnodes` into `ndims` balanced factors, largest first —
+/// `MPI_Dims_create` with all dimensions free.
+pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
+    assert!(nnodes >= 1 && ndims >= 1);
+    let mut dims = vec![1usize; ndims];
+    // Repeatedly peel the smallest prime factor onto the currently
+    // smallest dimension, then sort descending.
+    let mut factors = Vec::new();
+    let mut n = nnodes;
+    let mut f = 2;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            factors.push(f);
+            n /= f;
+        }
+        f += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a)); // large primes first
+    for f in factors {
+        let idx = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d)
+            .map(|(i, _)| i)
+            .expect("ndims >= 1");
+        dims[idx] *= f;
+    }
+    debug_assert_eq!(dims.iter().product::<usize>(), nnodes);
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// A communicator arranged as an N-dimensional grid.
+#[derive(Clone)]
+pub struct CartComm {
+    comm: Comm,
+    dims: Vec<usize>,
+    periodic: Vec<bool>,
+}
+
+impl CartComm {
+    /// Impose a Cartesian topology on a communicator. `dims` must
+    /// multiply to the communicator size; `periodic[d]` enables
+    /// wrap-around along dimension `d`. Rank order is row-major
+    /// (last dimension varies fastest), like MPI.
+    pub fn create(comm: Comm, dims: &[usize], periodic: &[bool]) -> Result<Self> {
+        if dims.is_empty() || dims.len() != periodic.len() {
+            return Err(MpcError::CollectiveMismatch(
+                "dims and periodic must be non-empty and equal length".into(),
+            ));
+        }
+        let cells: usize = dims.iter().product();
+        if cells != comm.size() {
+            return Err(MpcError::CollectiveMismatch(format!(
+                "grid {dims:?} has {cells} cells but communicator has {} ranks",
+                comm.size()
+            )));
+        }
+        Ok(Self {
+            comm,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+        })
+    }
+
+    /// The underlying communicator (for point-to-point and collectives).
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// Grid shape.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// This rank's grid coordinates — `MPI_Cart_coords`.
+    pub fn coords(&self) -> Vec<usize> {
+        self.coords_of(self.comm.rank())
+    }
+
+    /// Coordinates of an arbitrary rank.
+    pub fn coords_of(&self, rank: usize) -> Vec<usize> {
+        let mut rest = rank;
+        let mut coords = vec![0; self.dims.len()];
+        for d in (0..self.dims.len()).rev() {
+            coords[d] = rest % self.dims[d];
+            rest /= self.dims[d];
+        }
+        coords
+    }
+
+    /// Rank at given coordinates — `MPI_Cart_rank`.
+    pub fn rank_of(&self, coords: &[usize]) -> Result<usize> {
+        if coords.len() != self.dims.len() {
+            return Err(MpcError::CollectiveMismatch("coordinate arity".into()));
+        }
+        let mut rank = 0;
+        for (d, (&c, &dim)) in coords.iter().zip(&self.dims).enumerate() {
+            if c >= dim {
+                return Err(MpcError::CollectiveMismatch(format!(
+                    "coordinate {c} out of range for dim {d} (size {dim})"
+                )));
+            }
+            rank = rank * dim + c;
+        }
+        Ok(rank)
+    }
+
+    /// Source and destination ranks for a shift by `disp` along `dim` —
+    /// `MPI_Cart_shift`. `None` marks the edge of a non-periodic grid
+    /// (MPI_PROC_NULL).
+    pub fn shift(&self, dim: usize, disp: isize) -> (Option<usize>, Option<usize>) {
+        assert!(dim < self.dims.len());
+        let at = |delta: isize| -> Option<usize> {
+            let mut coords = self.coords();
+            let size = self.dims[dim] as isize;
+            let c = coords[dim] as isize + delta;
+            let c = if self.periodic[dim] {
+                c.rem_euclid(size)
+            } else if (0..size).contains(&c) {
+                c
+            } else {
+                return None;
+            };
+            coords[dim] = c as usize;
+            Some(self.rank_of(&coords).expect("in-range coords"))
+        };
+        (at(-disp), at(disp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn dims_create_balanced() {
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(1, 2), vec![1, 1]);
+        assert_eq!(dims_create(6, 1), vec![6]);
+        assert_eq!(dims_create(36, 2), vec![6, 6]);
+    }
+
+    #[test]
+    fn dims_create_products_match() {
+        for n in 1..=64 {
+            for d in 1..=3 {
+                let dims = dims_create(n, d);
+                assert_eq!(dims.iter().product::<usize>(), n, "n={n} d={d}");
+                assert_eq!(dims.len(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn coords_and_rank_round_trip() {
+        World::new(6).run(|comm| {
+            let cart = CartComm::create(comm, &[2, 3], &[false, false]).unwrap();
+            let coords = cart.coords();
+            assert_eq!(cart.rank_of(&coords).unwrap(), cart.comm().rank());
+            // Row-major: rank 4 → (1, 1).
+            assert_eq!(cart.coords_of(4), vec![1, 1]);
+            assert_eq!(cart.rank_of(&[1, 1]).unwrap(), 4);
+        });
+    }
+
+    #[test]
+    fn wrong_grid_size_rejected() {
+        World::new(5).run(|comm| {
+            assert!(CartComm::create(comm, &[2, 2], &[false, false]).is_err());
+        });
+    }
+
+    #[test]
+    fn nonperiodic_edges_are_proc_null() {
+        World::new(4).run(|comm| {
+            let cart = CartComm::create(comm, &[4], &[false]).unwrap();
+            let (left, right) = cart.shift(0, 1);
+            match cart.comm().rank() {
+                0 => {
+                    assert_eq!(left, None);
+                    assert_eq!(right, Some(1));
+                }
+                3 => {
+                    assert_eq!(left, Some(2));
+                    assert_eq!(right, None);
+                }
+                r => {
+                    assert_eq!(left, Some(r - 1));
+                    assert_eq!(right, Some(r + 1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn periodic_ring_wraps() {
+        World::new(4).run(|comm| {
+            let cart = CartComm::create(comm, &[4], &[true]).unwrap();
+            let (left, right) = cart.shift(0, 1);
+            let r = cart.comm().rank();
+            assert_eq!(left, Some((r + 3) % 4));
+            assert_eq!(right, Some((r + 1) % 4));
+        });
+    }
+
+    #[test]
+    fn grid_neighbour_exchange() {
+        // Each rank sends its rank to its right neighbour along dim 1.
+        World::new(6).run(|comm| {
+            let cart = CartComm::create(comm, &[2, 3], &[false, true]).unwrap();
+            let (src, dst) = cart.shift(1, 1);
+            let me = cart.comm().rank();
+            if let Some(d) = dst {
+                cart.comm().send(d, 0, &me).unwrap();
+            }
+            if let Some(s) = src {
+                let got: usize = cart.comm().recv(s, 0).unwrap();
+                assert_eq!(got, s);
+            }
+        });
+    }
+
+    #[test]
+    fn shift_by_two() {
+        World::new(5).run(|comm| {
+            let cart = CartComm::create(comm, &[5], &[true]).unwrap();
+            let (src, dst) = cart.shift(0, 2);
+            let r = cart.comm().rank();
+            assert_eq!(src, Some((r + 3) % 5));
+            assert_eq!(dst, Some((r + 2) % 5));
+        });
+    }
+}

@@ -1,0 +1,376 @@
+//! Communicators and point-to-point messaging.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::envelope::{Envelope, Source, Tag, TagSel};
+use crate::error::{MpcError, Result};
+use crate::mailbox::Latch;
+use crate::world::Fabric;
+
+/// Delivery metadata for a received message — the `MPI_Status` analog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Group rank of the sender.
+    pub source: usize,
+    /// Tag the message was sent with.
+    pub tag: Tag,
+    /// Serialized payload length in bytes.
+    pub len: usize,
+}
+
+/// A communicator: a group of ranks that can exchange messages, isolated
+/// from every other communicator's traffic — the `MPI_Comm` analog.
+///
+/// Cloning is cheap (it is a handle).
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) comm_id: u64,
+    /// Maps group rank → world rank.
+    pub(crate) group: Arc<Vec<usize>>,
+    /// This process's rank within the group.
+    pub(crate) rank: usize,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("comm_id", &self.comm_id)
+            .field("rank", &self.rank)
+            .field("size", &self.group.len())
+            .finish()
+    }
+}
+
+impl Comm {
+    /// This process's rank in the communicator — `Get_rank()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator — `Get_size()`.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// The simulated host this rank runs on — `Get_processor_name()`.
+    pub fn processor_name(&self) -> &str {
+        &self.fabric.hostnames[self.world_rank(self.rank)]
+    }
+
+    /// World rank underlying a group rank.
+    pub(crate) fn world_rank(&self, group_rank: usize) -> usize {
+        self.group[group_rank]
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank >= self.size() {
+            return Err(MpcError::RankOutOfRange {
+                rank,
+                size: self.size(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_user_tag(tag: Tag) -> Result<()> {
+        if tag < 0 {
+            return Err(MpcError::ReservedTag(tag));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Raw byte path (used internally and by zero-overhead benches).
+    // ------------------------------------------------------------------
+
+    /// Send raw bytes. Internal variant: permits reserved (negative) tags.
+    pub(crate) fn send_bytes_internal(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Bytes,
+        sync_ack: Option<Arc<Latch>>,
+    ) -> Result<()> {
+        self.check_rank(dest)?;
+        if let Some(traffic) = &self.fabric.traffic {
+            traffic.record(
+                self.world_rank(self.rank),
+                self.world_rank(dest),
+                payload.len(),
+            );
+        }
+        let env = Envelope {
+            comm_id: self.comm_id,
+            src: self.rank,
+            tag,
+            payload,
+            sync_ack,
+        };
+        self.fabric.mailboxes[self.world_rank(dest)].deposit(env);
+        Ok(())
+    }
+
+    pub(crate) fn recv_bytes_internal(
+        &self,
+        src: Source,
+        tag: TagSel,
+        timeout: Option<Duration>,
+    ) -> Result<(Bytes, Status)> {
+        let me = self.world_rank(self.rank);
+        let env = self.fabric.mailboxes[me].take_matching(self.comm_id, src, tag, timeout)?;
+        let status = Status {
+            source: env.src,
+            tag: env.tag,
+            len: env.payload.len(),
+        };
+        Ok((env.payload, status))
+    }
+
+    /// Buffered send of raw bytes with a user tag (`tag >= 0`).
+    pub fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        Self::check_user_tag(tag)?;
+        self.send_bytes_internal(dest, tag, payload, None)
+    }
+
+    /// Receive raw bytes.
+    pub fn recv_bytes(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<TagSel>,
+    ) -> Result<(Bytes, Status)> {
+        self.recv_bytes_internal(src.into(), tag.into(), None)
+    }
+
+    // ------------------------------------------------------------------
+    // Typed (serde) path — the mpi4py-flavoured API the patternlets use.
+    // ------------------------------------------------------------------
+
+    /// Buffered (asynchronous, non-blocking) send of any serializable
+    /// value — mpi4py's `comm.send(obj, dest, tag)`.
+    ///
+    /// Completes immediately regardless of whether the receive has been
+    /// posted; the runtime buffers the message. Use [`Comm::ssend`] for
+    /// rendezvous semantics.
+    pub fn send<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<()> {
+        Self::check_user_tag(tag)?;
+        let bytes = encode(value)?;
+        self.send_bytes_internal(dest, tag, bytes, None)
+    }
+
+    /// Synchronous send — `MPI_Ssend`. Blocks until the destination has
+    /// *matched* the message with a receive. Two ranks ssend-ing to each
+    /// other before receiving deadlock, exactly like the paper's
+    /// message-passing deadlock discussion.
+    pub fn ssend<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<()> {
+        self.ssend_timeout(dest, tag, value, None)
+    }
+
+    /// [`Comm::ssend`] with an optional timeout — lets tests demonstrate
+    /// the deadlock without hanging the suite.
+    pub fn ssend_timeout<T: Serialize>(
+        &self,
+        dest: usize,
+        tag: Tag,
+        value: &T,
+        timeout: Option<Duration>,
+    ) -> Result<()> {
+        Self::check_user_tag(tag)?;
+        let bytes = encode(value)?;
+        let latch = Arc::new(Latch::new());
+        self.send_bytes_internal(dest, tag, bytes, Some(Arc::clone(&latch)))?;
+        if latch.wait(timeout) {
+            Ok(())
+        } else {
+            Err(MpcError::Timeout {
+                waited: timeout.expect("timeout path requires a duration"),
+                operation: "ssend",
+            })
+        }
+    }
+
+    /// Blocking receive — mpi4py's `comm.recv(source=…, tag=…)`.
+    pub fn recv<T: DeserializeOwned>(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<TagSel>,
+    ) -> Result<T> {
+        self.recv_status(src, tag).map(|(v, _)| v)
+    }
+
+    /// Blocking receive returning the value and its [`Status`].
+    pub fn recv_status<T: DeserializeOwned>(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<TagSel>,
+    ) -> Result<(T, Status)> {
+        let (bytes, status) = self.recv_bytes_internal(src.into(), tag.into(), None)?;
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Receive with a deadline; times out with [`MpcError::Timeout`] —
+    /// the runtime's deadlock detector for teaching examples.
+    pub fn recv_timeout<T: DeserializeOwned>(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<TagSel>,
+        timeout: Duration,
+    ) -> Result<(T, Status)> {
+        let (bytes, status) = self.recv_bytes_internal(src.into(), tag.into(), Some(timeout))?;
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Combined send + receive — `MPI_Sendrecv`. Because sends are
+    /// buffered this cannot deadlock, making it the safe way to write the
+    /// neighbour-exchange pattern.
+    pub fn sendrecv<T: Serialize, U: DeserializeOwned>(
+        &self,
+        dest: usize,
+        send_tag: Tag,
+        value: &T,
+        src: impl Into<Source>,
+        recv_tag: impl Into<TagSel>,
+    ) -> Result<(U, Status)> {
+        self.send(dest, send_tag, value)?;
+        self.recv_status(src, recv_tag)
+    }
+
+    /// Non-blocking send — `MPI_Isend`. Buffered sends complete
+    /// immediately, so the returned request is already complete; it exists
+    /// so patternlet code reads like its MPI original.
+    pub fn isend<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<SendRequest> {
+        self.send(dest, tag, value)?;
+        Ok(SendRequest { _done: true })
+    }
+
+    /// Non-blocking receive — `MPI_Irecv`. Matching is deferred to
+    /// [`RecvRequest::wait`]; [`RecvRequest::test`] polls.
+    pub fn irecv<T: DeserializeOwned>(
+        &self,
+        src: impl Into<Source>,
+        tag: impl Into<TagSel>,
+    ) -> RecvRequest<T> {
+        RecvRequest {
+            comm: self.clone(),
+            src: src.into(),
+            tag: tag.into(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Blocking probe — `MPI_Probe`: wait until a matching message is
+    /// pending and report its status without consuming it.
+    pub fn probe(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Result<Status> {
+        let me = self.world_rank(self.rank);
+        let (source, tag, len) =
+            self.fabric.mailboxes[me].peek_matching(self.comm_id, src.into(), tag.into(), None)?;
+        Ok(Status { source, tag, len })
+    }
+
+    /// Non-blocking probe — `MPI_Iprobe`.
+    pub fn iprobe(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Option<Status> {
+        let me = self.world_rank(self.rank);
+        self.fabric.mailboxes[me]
+            .try_peek_matching(self.comm_id, src.into(), tag.into())
+            .map(|(source, tag, len)| Status { source, tag, len })
+    }
+}
+
+/// Completed-send handle returned by [`Comm::isend`].
+#[derive(Debug)]
+pub struct SendRequest {
+    _done: bool,
+}
+
+impl SendRequest {
+    /// Wait for completion (immediate for buffered sends).
+    pub fn wait(self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Pending-receive handle returned by [`Comm::irecv`].
+pub struct RecvRequest<T> {
+    comm: Comm,
+    src: Source,
+    tag: TagSel,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: DeserializeOwned> RecvRequest<T> {
+    /// Block until the message arrives — `MPI_Wait`.
+    pub fn wait(self) -> Result<(T, Status)> {
+        let (bytes, status) = self.comm.recv_bytes_internal(self.src, self.tag, None)?;
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Wait with a deadline.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<(T, Status)> {
+        let (bytes, status) = self
+            .comm
+            .recv_bytes_internal(self.src, self.tag, Some(timeout))?;
+        Ok((decode(&bytes)?, status))
+    }
+
+    /// Poll — `MPI_Test`: `Ok(value)` if complete, `Err(self)` to retry.
+    #[allow(clippy::result_large_err)]
+    pub fn test(self) -> std::result::Result<(T, Status), Self> {
+        let me = self.comm.world_rank(self.comm.rank);
+        if self.comm.fabric.mailboxes[me]
+            .try_peek_matching(self.comm.comm_id, self.src, self.tag)
+            .is_some()
+        {
+            // A matching message is pending; the blocking take cannot
+            // block for long (only this thread consumes our mailbox).
+            match self.comm.recv_bytes_internal(self.src, self.tag, None) {
+                Ok((bytes, status)) => match decode(&bytes) {
+                    Ok(v) => Ok((v, status)),
+                    Err(_) => panic!("payload type mismatch in RecvRequest::test"),
+                },
+                Err(_) => unreachable!("message was pending"),
+            }
+        } else {
+            Err(self)
+        }
+    }
+}
+
+/// Wait on many receive requests — `MPI_Waitall`. Results are returned
+/// in request order; the call blocks until every request completes.
+///
+/// ```
+/// use pdc_mpc::{comm::wait_all, World};
+///
+/// let out = World::new(3).run(|c| {
+///     if c.rank() == 0 {
+///         let reqs = vec![c.irecv::<u32>(1, 0), c.irecv::<u32>(2, 0)];
+///         wait_all(reqs).unwrap().into_iter().map(|(v, _)| v).sum()
+///     } else {
+///         c.send(0, 0, &(c.rank() as u32 * 10)).unwrap();
+///         0
+///     }
+/// });
+/// assert_eq!(out[0], 30);
+/// ```
+pub fn wait_all<T: DeserializeOwned>(requests: Vec<RecvRequest<T>>) -> Result<Vec<(T, Status)>> {
+    requests.into_iter().map(RecvRequest::wait).collect()
+}
+
+/// Serialize a payload (JSON wire format — human-readable, mirroring the
+/// teaching materials' Python objects; raw-bytes APIs exist for benches).
+pub(crate) fn encode<T: Serialize>(value: &T) -> Result<Bytes> {
+    serde_json::to_vec(value)
+        .map(Bytes::from)
+        .map_err(|e| MpcError::Decode(format!("encode: {e}")))
+}
+
+/// Deserialize a payload.
+pub(crate) fn decode<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    serde_json::from_slice(bytes).map_err(|e| MpcError::Decode(e.to_string()))
+}

@@ -1,0 +1,65 @@
+//! Error type for the message-passing runtime.
+
+use std::time::Duration;
+
+/// Errors surfaced by pdc-mpc operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// A destination or source rank was outside `0..size`.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Communicator size.
+        size: usize,
+    },
+    /// A user tag was negative (negative tags are reserved for the
+    /// runtime's internal collective traffic, as in real MPI libraries).
+    ReservedTag(i32),
+    /// A blocking operation timed out — usually a deadlock caught by a
+    /// `*_timeout` variant (e.g. both ranks receiving before sending, the
+    /// deadlock patternlet).
+    Timeout {
+        /// How long the caller was willing to wait.
+        waited: Duration,
+        /// What was being waited for.
+        operation: &'static str,
+    },
+    /// Payload could not be decoded as the requested type.
+    Decode(String),
+    /// A collective was called with inconsistent arguments (e.g. scatter
+    /// input length not divisible by the communicator size).
+    CollectiveMismatch(String),
+    /// The peer rank terminated while we were waiting on it.
+    PeerGone {
+        /// The rank that is no longer reachable.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for MpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpcError::RankOutOfRange { rank, size } => {
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            MpcError::ReservedTag(t) => write!(f, "tag {t} is reserved (user tags must be >= 0)"),
+            MpcError::Timeout { waited, operation } => {
+                write!(
+                    f,
+                    "{operation} timed out after {waited:?} (possible deadlock)"
+                )
+            }
+            MpcError::Decode(e) => write!(f, "failed to decode message payload: {e}"),
+            MpcError::CollectiveMismatch(e) => write!(f, "collective argument mismatch: {e}"),
+            MpcError::PeerGone { rank } => write!(f, "peer rank {rank} terminated"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+/// Result alias for pdc-mpc operations.
+pub type Result<T> = std::result::Result<T, MpcError>;

@@ -1,0 +1,328 @@
+//! Per-rank mailboxes with MPI matching semantics.
+//!
+//! Each world rank owns one [`Mailbox`]. A send deposits an [`Envelope`]
+//! at the destination's mailbox; a receive removes the *oldest* matching
+//! envelope, blocking until one arrives. Because the queue is scanned in
+//! arrival order, the MPI **non-overtaking** guarantee holds: two messages
+//! from the same sender with the same tag are received in send order.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::{Envelope, Source, TagSel};
+use crate::error::{MpcError, Result};
+
+/// A one-shot completion latch used by synchronous sends: the sender
+/// blocks on [`Latch::wait`] until the receiver calls [`Latch::open`]
+/// at match time — the rendezvous that makes `ssend` deadlock-capable.
+#[derive(Debug, Default)]
+pub struct Latch {
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Create a closed latch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open the latch, waking all waiters.
+    pub fn open(&self) {
+        let mut open = self.state.lock();
+        *open = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until the latch opens, or until `timeout` (None = forever).
+    /// Returns `false` on timeout.
+    pub fn wait(&self, timeout: Option<Duration>) -> bool {
+        let mut open = self.state.lock();
+        match timeout {
+            None => {
+                while !*open {
+                    self.cv.wait(&mut open);
+                }
+                true
+            }
+            Some(dur) => {
+                let deadline = Instant::now() + dur;
+                while !*open {
+                    if self.cv.wait_until(&mut open, deadline).timed_out() {
+                        return *open;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// The pending-message queue of one rank.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    /// Empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit a message (called by the sender's thread).
+    pub(crate) fn deposit(&self, env: Envelope) {
+        self.queue.lock().push_back(env);
+        self.arrived.notify_all();
+    }
+
+    /// Remove and return the oldest envelope matching the selectors,
+    /// blocking until one arrives or `timeout` elapses (None = forever).
+    ///
+    /// Opens the envelope's sync latch (if any) *at match time*, which is
+    /// when a synchronous send is allowed to complete.
+    pub(crate) fn take_matching(
+        &self,
+        comm_id: u64,
+        src: Source,
+        tag: TagSel,
+        timeout: Option<Duration>,
+    ) -> Result<Envelope> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
+                let env = q.remove(pos).expect("position just found");
+                if let Some(latch) = &env.sync_ack {
+                    latch.open();
+                }
+                return Ok(env);
+            }
+            match deadline {
+                None => self.arrived.wait(&mut q),
+                Some(dl) => {
+                    if self.arrived.wait_until(&mut q, dl).timed_out() {
+                        // One final scan in case a message arrived exactly
+                        // at the deadline.
+                        if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
+                            let env = q.remove(pos).expect("position just found");
+                            if let Some(latch) = &env.sync_ack {
+                                latch.open();
+                            }
+                            return Ok(env);
+                        }
+                        return Err(MpcError::Timeout {
+                            waited: timeout.expect("deadline implies timeout"),
+                            operation: "recv",
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Peek at the oldest matching envelope without removing it,
+    /// returning its (src, tag, payload length). Blocks like a receive.
+    pub(crate) fn peek_matching(
+        &self,
+        comm_id: u64,
+        src: Source,
+        tag: TagSel,
+        timeout: Option<Duration>,
+    ) -> Result<(usize, i32, usize)> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(e) = q.iter().find(|e| e.matches(comm_id, &src, &tag)) {
+                return Ok((e.src, e.tag, e.payload.len()));
+            }
+            match deadline {
+                None => self.arrived.wait(&mut q),
+                Some(dl) => {
+                    if self.arrived.wait_until(&mut q, dl).timed_out() {
+                        if let Some(e) = q.iter().find(|e| e.matches(comm_id, &src, &tag)) {
+                            return Ok((e.src, e.tag, e.payload.len()));
+                        }
+                        return Err(MpcError::Timeout {
+                            waited: timeout.expect("deadline implies timeout"),
+                            operation: "probe",
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe: oldest matching envelope's (src, tag, len).
+    pub(crate) fn try_peek_matching(
+        &self,
+        comm_id: u64,
+        src: Source,
+        tag: TagSel,
+    ) -> Option<(usize, i32, usize)> {
+        let q = self.queue.lock();
+        q.iter()
+            .find(|e| e.matches(comm_id, &src, &tag))
+            .map(|e| (e.src, e.tag, e.payload.len()))
+    }
+
+    /// Number of queued messages (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// Convenience Arc alias.
+pub(crate) type SharedMailbox = Arc<Mailbox>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn env(comm_id: u64, src: usize, tag: i32, body: &[u8]) -> Envelope {
+        Envelope {
+            comm_id,
+            src,
+            tag,
+            payload: Bytes::copy_from_slice(body),
+            sync_ack: None,
+        }
+    }
+
+    #[test]
+    fn take_in_fifo_order_per_sender_tag() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 1, 7, b"first"));
+        mb.deposit(env(0, 1, 7, b"second"));
+        let a = mb
+            .take_matching(0, Source::Rank(1), TagSel::Tag(7), None)
+            .unwrap();
+        let b = mb
+            .take_matching(0, Source::Rank(1), TagSel::Tag(7), None)
+            .unwrap();
+        assert_eq!(&a.payload[..], b"first");
+        assert_eq!(&b.payload[..], b"second");
+    }
+
+    #[test]
+    fn selector_skips_nonmatching_but_preserves_order() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 2, 1, b"fromtwo"));
+        mb.deposit(env(0, 1, 1, b"fromone"));
+        // Ask for rank 1 first: must skip the rank-2 message, not consume it.
+        let a = mb
+            .take_matching(0, Source::Rank(1), TagSel::Any, None)
+            .unwrap();
+        assert_eq!(&a.payload[..], b"fromone");
+        assert_eq!(mb.pending(), 1);
+        let b = mb.take_matching(0, Source::Any, TagSel::Any, None).unwrap();
+        assert_eq!(&b.payload[..], b"fromtwo");
+    }
+
+    #[test]
+    fn any_source_takes_oldest() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 3, 0, b"old"));
+        mb.deposit(env(0, 1, 0, b"new"));
+        let got = mb.take_matching(0, Source::Any, TagSel::Any, None).unwrap();
+        assert_eq!(&got.payload[..], b"old");
+        assert_eq!(got.src, 3);
+    }
+
+    #[test]
+    fn timeout_on_empty_mailbox() {
+        let mb = Mailbox::new();
+        let err = mb
+            .take_matching(0, Source::Any, TagSel::Any, Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(matches!(err, MpcError::Timeout { .. }));
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_deposit() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || {
+            mb2.take_matching(0, Source::Rank(0), TagSel::Tag(5), None)
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deposit(env(0, 0, 5, b"wake"));
+        let got = handle.join().unwrap();
+        assert_eq!(&got.payload[..], b"wake");
+    }
+
+    #[test]
+    fn comm_ids_isolate_messages() {
+        let mb = Mailbox::new();
+        mb.deposit(env(42, 0, 0, b"other-comm"));
+        let err = mb
+            .take_matching(0, Source::Any, TagSel::Any, Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert!(matches!(err, MpcError::Timeout { .. }));
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 4, 9, b"xyz"));
+        let (src, tag, len) = mb.peek_matching(0, Source::Any, TagSel::Any, None).unwrap();
+        assert_eq!((src, tag, len), (4, 9, 3));
+        assert_eq!(mb.pending(), 1);
+    }
+
+    #[test]
+    fn try_peek_nonblocking() {
+        let mb = Mailbox::new();
+        assert!(mb.try_peek_matching(0, Source::Any, TagSel::Any).is_none());
+        mb.deposit(env(0, 0, 1, b"a"));
+        assert_eq!(
+            mb.try_peek_matching(0, Source::Any, TagSel::Any),
+            Some((0, 1, 1))
+        );
+    }
+
+    #[test]
+    fn latch_open_wait() {
+        let latch = Arc::new(Latch::new());
+        let l2 = Arc::clone(&latch);
+        let h = std::thread::spawn(move || l2.wait(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(10));
+        latch.open();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn latch_timeout_returns_false() {
+        let latch = Latch::new();
+        assert!(!latch.wait(Some(Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn take_opens_sync_latch() {
+        let mb = Mailbox::new();
+        let latch = Arc::new(Latch::new());
+        mb.deposit(Envelope {
+            comm_id: 0,
+            src: 0,
+            tag: 0,
+            payload: Bytes::new(),
+            sync_ack: Some(Arc::clone(&latch)),
+        });
+        assert!(
+            !latch.wait(Some(Duration::from_millis(1))),
+            "not yet received"
+        );
+        mb.take_matching(0, Source::Any, TagSel::Any, None).unwrap();
+        assert!(
+            latch.wait(Some(Duration::from_millis(1))),
+            "opened at match time"
+        );
+    }
+}

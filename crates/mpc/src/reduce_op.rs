@@ -1,0 +1,72 @@
+//! Reduction operators for collectives.
+//!
+//! MPI ships named operators (`MPI_SUM`, `MPI_MAX`, …); here an operator
+//! is any associative, commutative `Fn(T, T) -> T`. The [`ops`] module
+//! provides the standard ones so patternlet code reads like its original.
+
+/// Standard reduction operators.
+pub mod ops {
+    /// `MPI_SUM` for any `Add` type.
+    pub fn sum<T: std::ops::Add<Output = T>>(a: T, b: T) -> T {
+        a + b
+    }
+
+    /// `MPI_PROD` for any `Mul` type.
+    pub fn prod<T: std::ops::Mul<Output = T>>(a: T, b: T) -> T {
+        a * b
+    }
+
+    /// `MPI_MAX` for any `PartialOrd` type (ties keep the first operand).
+    pub fn max<T: PartialOrd>(a: T, b: T) -> T {
+        if b > a {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// `MPI_MIN` for any `PartialOrd` type (ties keep the first operand).
+    pub fn min<T: PartialOrd>(a: T, b: T) -> T {
+        if b < a {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// `MPI_LAND`.
+    pub fn land(a: bool, b: bool) -> bool {
+        a && b
+    }
+
+    /// `MPI_LOR`.
+    pub fn lor(a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ops;
+
+    #[test]
+    fn sum_prod() {
+        assert_eq!(ops::sum(2, 3), 5);
+        assert_eq!(ops::prod(2.0, 3.0), 6.0);
+    }
+
+    #[test]
+    fn max_min() {
+        assert_eq!(ops::max(2, 9), 9);
+        assert_eq!(ops::min(2, 9), 2);
+        assert_eq!(ops::max(1.5, -0.5), 1.5);
+    }
+
+    #[test]
+    fn logical() {
+        assert!(ops::land(true, true));
+        assert!(!ops::land(true, false));
+        assert!(ops::lor(false, true));
+        assert!(!ops::lor(false, false));
+    }
+}

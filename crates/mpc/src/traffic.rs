@@ -1,0 +1,163 @@
+//! Message-traffic tracing.
+//!
+//! [`crate::World::run_traced`] records every envelope that crosses the
+//! fabric — how many messages and payload bytes each (sender, receiver)
+//! pair exchanged, including the runtime's internal collective traffic.
+//! This is how the workspace *validates* the analytic platform model's
+//! communication assumptions (e.g. a linear reduce really is `P − 1`
+//! messages into the root; a binomial tree really spreads them) instead
+//! of asserting them on faith.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Traffic counters for an `np`-rank world.
+#[derive(Debug)]
+pub(crate) struct TrafficCounters {
+    np: usize,
+    msgs: Vec<AtomicU64>,
+    bytes: Vec<AtomicU64>,
+}
+
+impl TrafficCounters {
+    pub(crate) fn new(np: usize) -> Self {
+        Self {
+            np,
+            msgs: (0..np * np).map(|_| AtomicU64::new(0)).collect(),
+            bytes: (0..np * np).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub(crate) fn record(&self, src_world: usize, dst_world: usize, payload_len: usize) {
+        let idx = src_world * self.np + dst_world;
+        self.msgs[idx].fetch_add(1, Ordering::Relaxed);
+        self.bytes[idx].fetch_add(payload_len as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> TrafficMatrix {
+        TrafficMatrix {
+            np: self.np,
+            msgs: self
+                .msgs
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            bytes: self
+                .bytes
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A completed run's traffic: messages and bytes per (src, dst) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    np: usize,
+    msgs: Vec<u64>,
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// World size the matrix covers.
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn messages(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.np + dst]
+    }
+
+    /// Payload bytes sent from `src` to `dst`.
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.np + dst]
+    }
+
+    /// Total messages on the fabric.
+    pub fn total_messages(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total payload bytes on the fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Messages received by one rank from anyone.
+    pub fn in_degree(&self, dst: usize) -> u64 {
+        (0..self.np).map(|s| self.messages(s, dst)).sum()
+    }
+
+    /// Messages sent by one rank to anyone.
+    pub fn out_degree(&self, src: usize) -> u64 {
+        (0..self.np).map(|d| self.messages(src, d)).sum()
+    }
+
+    /// The busiest receiver (rank, message count) — the hot spot a
+    /// root-centric collective creates.
+    pub fn hottest_receiver(&self) -> (usize, u64) {
+        (0..self.np)
+            .map(|r| (r, self.in_degree(r)))
+            .max_by_key(|&(_, c)| c)
+            .expect("np >= 1")
+    }
+
+    /// Render the message matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from("messages (row = sender, col = receiver):\n      ");
+        for d in 0..self.np {
+            out.push_str(&format!("{d:>6}"));
+        }
+        out.push('\n');
+        for s in 0..self.np {
+            out.push_str(&format!("{s:>5} "));
+            for d in 0..self.np {
+                out.push_str(&format!("{:>6}", self.messages(s, d)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = TrafficCounters::new(3);
+        c.record(0, 1, 10);
+        c.record(0, 1, 5);
+        c.record(2, 0, 7);
+        let m = c.snapshot();
+        assert_eq!(m.messages(0, 1), 2);
+        assert_eq!(m.bytes(0, 1), 15);
+        assert_eq!(m.messages(2, 0), 1);
+        assert_eq!(m.messages(1, 2), 0);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_bytes(), 22);
+    }
+
+    #[test]
+    fn degrees_and_hotspot() {
+        let c = TrafficCounters::new(3);
+        c.record(1, 0, 1);
+        c.record(2, 0, 1);
+        c.record(0, 1, 1);
+        let m = c.snapshot();
+        assert_eq!(m.in_degree(0), 2);
+        assert_eq!(m.out_degree(0), 1);
+        assert_eq!(m.hottest_receiver(), (0, 2));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let c = TrafficCounters::new(2);
+        c.record(0, 1, 3);
+        let s = c.snapshot().render();
+        assert!(s.contains("row = sender"));
+        assert!(s.contains('1'));
+    }
+}

@@ -1,0 +1,320 @@
+//! Integration tests for collectives under both algorithms and a range of
+//! communicator sizes (including non-powers-of-two, which exercise the
+//! binomial tree's incomplete-subtree edges).
+
+use pdc_mpc::{ops, CollectiveAlgo, World};
+
+const ALGOS: [CollectiveAlgo; 2] = [CollectiveAlgo::Linear, CollectiveAlgo::BinomialTree];
+const SIZES: [usize; 5] = [1, 2, 3, 5, 8];
+
+#[test]
+fn barrier_orders_phases() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for algo in ALGOS {
+        for np in SIZES {
+            let before = AtomicUsize::new(0);
+            World::new(np).with_algo(algo).run(|c| {
+                before.fetch_add(1, Ordering::SeqCst);
+                c.barrier().unwrap();
+                assert_eq!(before.load(Ordering::SeqCst), np, "{algo:?} np={np}");
+                c.barrier().unwrap();
+            });
+        }
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for algo in ALGOS {
+        for np in SIZES {
+            for root in 0..np {
+                let out = World::new(np).with_algo(algo).run(|c| {
+                    let payload = if c.rank() == root {
+                        Some(format!("from-{root}"))
+                    } else {
+                        None
+                    };
+                    c.bcast(root, payload).unwrap()
+                });
+                assert!(
+                    out.iter().all(|s| s == &format!("from-{root}")),
+                    "{algo:?} np={np} root={root}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn consecutive_bcasts_stay_ordered() {
+    for algo in ALGOS {
+        let out = World::new(4).with_algo(algo).run(|c| {
+            let a = c.bcast(0, (c.rank() == 0).then_some(1u32)).unwrap();
+            let b = c.bcast(0, (c.rank() == 0).then_some(2u32)).unwrap();
+            (a, b)
+        });
+        assert!(out.iter().all(|&p| p == (1, 2)), "{algo:?}");
+    }
+}
+
+#[test]
+fn scatter_distributes_in_rank_order() {
+    for np in SIZES {
+        let out = World::new(np).run(|c| {
+            let input = (c.rank() == 0).then(|| (0..np).map(|i| i * 100).collect::<Vec<_>>());
+            c.scatter(0, input).unwrap()
+        });
+        let want: Vec<usize> = (0..np).map(|i| i * 100).collect();
+        assert_eq!(out, want);
+    }
+}
+
+#[test]
+fn scatter_length_mismatch_rejected() {
+    let out = World::new(3).run(|c| {
+        let input = (c.rank() == 0).then(|| vec![1, 2]); // wrong length
+        if c.rank() == 0 {
+            c.scatter(0, input).err().map(|e| e.to_string())
+        } else {
+            None
+        }
+    });
+    assert!(out[0].as_deref().unwrap().contains("length 2"));
+}
+
+#[test]
+fn scatterv_uneven_pieces() {
+    let out = World::new(3).run(|c| {
+        let input = (c.rank() == 0).then(|| vec![vec![1], vec![2, 3], vec![4, 5, 6]]);
+        c.scatterv(0, input).unwrap()
+    });
+    assert_eq!(out, vec![vec![1], vec![2, 3], vec![4, 5, 6]]);
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    for np in SIZES {
+        let out = World::new(np).run(|c| c.gather(0, c.rank() * 2).unwrap());
+        let want: Vec<usize> = (0..np).map(|r| r * 2).collect();
+        assert_eq!(out[0].as_ref().unwrap(), &want);
+        for (r, v) in out.iter().enumerate().skip(1) {
+            assert!(v.is_none(), "non-root rank {r} must get None");
+        }
+    }
+}
+
+#[test]
+fn allgather_everyone_sees_everything() {
+    for algo in ALGOS {
+        let out = World::new(5)
+            .with_algo(algo)
+            .run(|c| c.allgather(format!("r{}", c.rank())).unwrap());
+        for got in out {
+            assert_eq!(got, vec!["r0", "r1", "r2", "r3", "r4"]);
+        }
+    }
+}
+
+#[test]
+fn reduce_sum_every_root_every_algo() {
+    for algo in ALGOS {
+        for np in SIZES {
+            for root in 0..np {
+                let out = World::new(np)
+                    .with_algo(algo)
+                    .run(|c| c.reduce(root, c.rank() as u64 + 1, ops::sum).unwrap());
+                let want: u64 = (1..=np as u64).sum();
+                for (r, v) in out.into_iter().enumerate() {
+                    if r == root {
+                        assert_eq!(v, Some(want), "{algo:?} np={np} root={root}");
+                    } else {
+                        assert_eq!(v, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_max_and_min() {
+    let data = [13u64, 7, 42, 3, 25];
+    let out = World::new(5).run(|c| {
+        let v = data[c.rank()];
+        (
+            c.reduce(0, v, ops::max).unwrap(),
+            c.reduce(0, v, ops::min).unwrap(),
+        )
+    });
+    assert_eq!(out[0], (Some(42), Some(3)));
+}
+
+#[test]
+fn allreduce_all_ranks_get_result() {
+    for algo in ALGOS {
+        for np in SIZES {
+            let out = World::new(np)
+                .with_algo(algo)
+                .run(|c| c.allreduce(c.rank() as i64, ops::sum).unwrap());
+            let want: i64 = (0..np as i64).sum();
+            assert!(out.iter().all(|&v| v == want), "{algo:?} np={np}");
+        }
+    }
+}
+
+#[test]
+fn scan_inclusive_prefix() {
+    let out = World::new(6).run(|c| c.scan(c.rank() as u64 + 1, ops::sum).unwrap());
+    // Prefix sums of 1..=6.
+    assert_eq!(out, vec![1, 3, 6, 10, 15, 21]);
+}
+
+#[test]
+fn scan_non_commutative_string_concat() {
+    // scan combines in rank order, so concatenation works.
+    let out = World::new(4).run(|c| c.scan(c.rank().to_string(), |a, b| a + &b).unwrap());
+    assert_eq!(out, vec!["0", "01", "012", "0123"]);
+}
+
+#[test]
+fn alltoall_transpose() {
+    let np = 4;
+    let out = World::new(np).run(|c| {
+        // Rank r sends value r*10 + j to rank j.
+        let input: Vec<usize> = (0..np).map(|j| c.rank() * 10 + j).collect();
+        c.alltoall(input).unwrap()
+    });
+    for (r, row) in out.iter().enumerate() {
+        let want: Vec<usize> = (0..np).map(|i| i * 10 + r).collect();
+        assert_eq!(row, &want, "rank {r}");
+    }
+}
+
+#[test]
+fn split_by_parity() {
+    let out = World::new(6).run(|c| {
+        let color = (c.rank() % 2) as i32;
+        let sub = c.split(color, c.rank() as i32).unwrap();
+        // Sum of world ranks within my parity class.
+        let total = sub.allreduce(c.rank(), ops::sum).unwrap();
+        (sub.rank(), sub.size(), total)
+    });
+    // Evens: 0,2,4 (sum 6); odds: 1,3,5 (sum 9).
+    assert_eq!(out[0], (0, 3, 6));
+    assert_eq!(out[2], (1, 3, 6));
+    assert_eq!(out[4], (2, 3, 6));
+    assert_eq!(out[1], (0, 3, 9));
+    assert_eq!(out[3], (1, 3, 9));
+    assert_eq!(out[5], (2, 3, 9));
+}
+
+#[test]
+fn split_key_reverses_order() {
+    let out = World::new(4).run(|c| {
+        // Same color; key descending in rank → sub-ranks reverse.
+        let sub = c.split(0, -(c.rank() as i32)).unwrap();
+        sub.rank()
+    });
+    assert_eq!(out, vec![3, 2, 1, 0]);
+}
+
+#[test]
+fn split_traffic_is_isolated() {
+    // Messages in a sub-communicator must be invisible to world traffic.
+    let out = World::new(4).run(|c| {
+        let sub = c.split((c.rank() / 2) as i32, 0).unwrap();
+        if sub.rank() == 0 {
+            sub.send(1, 0, &format!("sub-{}", c.rank() / 2)).unwrap();
+            String::new()
+        } else {
+            let got: String = sub.recv(0, 0).unwrap();
+            got
+        }
+    });
+    assert_eq!(out[1], "sub-0");
+    assert_eq!(out[3], "sub-1");
+}
+
+#[test]
+fn master_worker_with_collectives() {
+    // The master-worker patternlet shape: scatter work, gather results.
+    let np = 4;
+    let out = World::new(np).run(|c| {
+        let chunks =
+            (c.rank() == 0).then(|| (0..np).map(|r| vec![r as u64; r + 1]).collect::<Vec<_>>());
+        let mine = c.scatterv(0, chunks).unwrap();
+        let local_sum: u64 = mine.iter().sum();
+        c.reduce(0, local_sum, ops::sum).unwrap()
+    });
+    // Sum over r of r*(r+1): 0 + 2 + 6 + 12 = 20.
+    assert_eq!(out[0], Some(20));
+}
+
+#[test]
+fn big_world_smoke() {
+    // 16 oversubscribed ranks on (possibly) one core.
+    let out = World::new(16).run(|c| c.allreduce(1u32, ops::sum).unwrap());
+    assert!(out.iter().all(|&v| v == 16));
+}
+
+#[test]
+fn alltoallv_variable_blocks() {
+    let out = World::new(3).run(|c| {
+        // Rank r sends j copies of r*10+j to rank j.
+        let input: Vec<Vec<usize>> = (0..3).map(|j| vec![c.rank() * 10 + j; j]).collect();
+        c.alltoallv(input).unwrap()
+    });
+    // Rank 1 receives from each rank i: one copy of i*10+1.
+    assert_eq!(out[1], vec![vec![1], vec![11], vec![21]]);
+    // Rank 0 receives empty blocks from everyone.
+    assert!(out[0].iter().all(|b| b.is_empty()));
+    // Rank 2 receives two copies of i*10+2 from each i.
+    assert_eq!(out[2], vec![vec![2, 2], vec![12, 12], vec![22, 22]]);
+}
+
+#[test]
+fn reduce_scatter_block_sums_columns() {
+    let np = 4;
+    let out = World::new(np).run(|c| {
+        // Rank r contributes the vector [r, r, r, r] → column sums 0+1+2+3.
+        let input = vec![c.rank() as u64; np];
+        c.reduce_scatter_block(input, ops::sum).unwrap()
+    });
+    assert_eq!(out, vec![6, 6, 6, 6]);
+}
+
+#[test]
+fn reduce_scatter_block_distinct_columns() {
+    let np = 3;
+    let out = World::new(np).run(|c| {
+        // Element j of rank r's vector is r*10 + j.
+        let input: Vec<u64> = (0..np as u64).map(|j| c.rank() as u64 * 10 + j).collect();
+        c.reduce_scatter_block(input, ops::sum).unwrap()
+    });
+    // Column j: sum over r of r*10 + j = 30 + 3j.
+    assert_eq!(out, vec![30, 33, 36]);
+}
+
+#[test]
+fn reduce_scatter_length_mismatch() {
+    let errs = World::new(2).run(|c| c.reduce_scatter_block(vec![1u8; 5], ops::sum).err());
+    for e in errs {
+        assert!(e.is_some());
+    }
+}
+
+#[test]
+fn wait_all_collects_in_request_order() {
+    use pdc_mpc::comm::wait_all;
+    let out = World::new(4).run(|c| {
+        if c.rank() == 0 {
+            let reqs: Vec<_> = (1..4).map(|r| c.irecv::<String>(r, 0)).collect();
+            let got = wait_all(reqs).unwrap();
+            got.into_iter().map(|(v, _)| v).collect::<Vec<_>>()
+        } else {
+            c.send(0, 0, &format!("from-{}", c.rank())).unwrap();
+            Vec::new()
+        }
+    });
+    assert_eq!(out[0], vec!["from-1", "from-2", "from-3"]);
+}

@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! # pdc-patternlets
+//!
+//! *Patternlets* — "very short example PDC programs, each illustrating a
+//! specific parallel programming pattern" (Adams, IPDPSW 2015; §II of the
+//! reproduced paper) — are the backbone of both of the paper's modules:
+//! Module A has learners run OpenMP patternlets on a Raspberry Pi, and
+//! Module B runs the `mpi4py` patternlets inside a Google Colab notebook.
+//!
+//! This crate is the catalog: every patternlet is a [`Patternlet`] record
+//! carrying its taxonomy, the concept it teaches, a short source listing
+//! (shown verbatim by the courseware, mirroring the C/Python originals),
+//! and a **runnable implementation** on the corresponding runtime
+//! ([`pdc_shmem`] for shared memory, [`pdc_mpc`] for message passing).
+//!
+//! ```
+//! use pdc_patternlets::{registry, Paradigm};
+//!
+//! // Run the Figure-2 patternlet: SPMD greetings from 4 "processes".
+//! let spmd = registry::find("mp.spmd").unwrap();
+//! let out = spmd.run(4);
+//! assert_eq!(out.lines.len(), 4);
+//! assert!(out.lines.iter().any(|l| l.contains("process 3 of 4")));
+//! assert_eq!(spmd.paradigm, Paradigm::MessagePassing);
+//! ```
+
+pub mod mp;
+pub mod registry;
+pub mod sm;
+
+/// Programming paradigm a patternlet belongs to (which module teaches it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    /// OpenMP-style multithreading (Module A, Raspberry Pi).
+    SharedMemory,
+    /// MPI-style multiprocessing (Module B, Colab / cluster).
+    MessagePassing,
+}
+
+/// Parallel-pattern taxonomy, following the OPL/patternlet organization
+/// the paper cites (Keutzer & Mattson [24], Adams [17]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Program-structure: single program, multiple data.
+    Spmd,
+    /// Program-structure: fork-join thread teams.
+    ForkJoin,
+    /// Data decomposition across iterations or array slices.
+    DataDecomposition,
+    /// Task decomposition: master-worker, sections.
+    TaskDecomposition,
+    /// Coordination: barriers and ordered phases.
+    Synchronization,
+    /// Coordination: explicit message passing.
+    MessagePassing,
+    /// Coordination: collective communication.
+    CollectiveCommunication,
+    /// Correctness: races, mutual exclusion, atomicity.
+    MutualExclusion,
+    /// Correctness + performance: reductions.
+    Reduction,
+}
+
+/// Output of one patternlet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// The lines the learner sees (order as produced).
+    pub lines: Vec<String>,
+    /// Whether the line *order* is deterministic. SPMD hello-style
+    /// patternlets interleave nondeterministically — that is their
+    /// teaching point — so tests compare them as sets.
+    pub deterministic_order: bool,
+}
+
+impl RunOutput {
+    /// Lines sorted, for set-style comparisons of nondeterministic runs.
+    pub fn sorted_lines(&self) -> Vec<String> {
+        let mut v = self.lines.clone();
+        v.sort();
+        v
+    }
+}
+
+/// One catalog entry.
+pub struct Patternlet {
+    /// Stable id, `sm.*` or `mp.*` (e.g. `mp.spmd`).
+    pub id: &'static str,
+    /// Display name.
+    pub name: &'static str,
+    /// Paradigm (which module).
+    pub paradigm: Paradigm,
+    /// Taxonomy slot.
+    pub pattern: Pattern,
+    /// One-sentence teaching goal.
+    pub teaches: &'static str,
+    /// Source listing shown by the courseware (transliterated from the
+    /// C/OpenMP or Python/mpi4py original).
+    pub source: &'static str,
+    /// Runner: `n` is the thread count (shared memory) or process count
+    /// (message passing).
+    pub runner: fn(usize) -> RunOutput,
+}
+
+impl Patternlet {
+    /// Execute the patternlet with `n` threads/processes.
+    pub fn run(&self, n: usize) -> RunOutput {
+        (self.runner)(n)
+    }
+}
+
+impl std::fmt::Debug for Patternlet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Patternlet")
+            .field("id", &self.id)
+            .field("paradigm", &self.paradigm)
+            .field("pattern", &self.pattern)
+            .finish()
+    }
+}

@@ -1,0 +1,31 @@
+//! Message-passing (MPI-style) patternlets — the Module B catalog, the
+//! Rust transliteration of the CSinParallel `mpi4py` patternlets the
+//! paper runs in Google Colab (reference [14], Figure 2).
+
+pub mod basics;
+pub mod collectives;
+pub mod p2p;
+pub mod worker;
+
+use crate::Patternlet;
+
+/// All message-passing patternlets, in notebook order.
+pub fn all() -> Vec<&'static Patternlet> {
+    vec![
+        &basics::SPMD,
+        &basics::ORDERED,
+        &p2p::SEND_RECV,
+        &p2p::RING_PASS,
+        &p2p::EXCHANGE,
+        &p2p::DEADLOCK,
+        &worker::MASTER_WORKER,
+        &worker::EQUAL_CHUNKS,
+        &worker::CHUNKS_OF_ONE,
+        &collectives::BROADCAST,
+        &collectives::SCATTER,
+        &collectives::GATHER,
+        &collectives::ALLGATHER,
+        &collectives::REDUCE,
+        &collectives::SCAN,
+    ]
+}

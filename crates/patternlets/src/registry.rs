@@ -1,0 +1,110 @@
+//! The patternlet registry: lookup by id, filters by paradigm/pattern.
+
+use crate::{mp, sm, Paradigm, Pattern, Patternlet};
+
+/// Every patternlet in the catalog: shared-memory first (Module A order),
+/// then message-passing (Module B / notebook order).
+pub fn all() -> Vec<&'static Patternlet> {
+    let mut v = sm::all();
+    v.extend(mp::all());
+    v
+}
+
+/// Look a patternlet up by its stable id (e.g. `"sm.race"`, `"mp.spmd"`).
+pub fn find(id: &str) -> Option<&'static Patternlet> {
+    all().into_iter().find(|p| p.id == id)
+}
+
+/// All patternlets of one paradigm.
+pub fn by_paradigm(paradigm: Paradigm) -> Vec<&'static Patternlet> {
+    all()
+        .into_iter()
+        .filter(|p| p.paradigm == paradigm)
+        .collect()
+}
+
+/// All patternlets teaching one pattern.
+pub fn by_pattern(pattern: Pattern) -> Vec<&'static Patternlet> {
+    all().into_iter().filter(|p| p.pattern == pattern).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_size_and_split() {
+        assert_eq!(all().len(), 32);
+        assert_eq!(by_paradigm(Paradigm::SharedMemory).len(), 17);
+        assert_eq!(by_paradigm(Paradigm::MessagePassing).len(), 15);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = all().iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate patternlet ids");
+    }
+
+    #[test]
+    fn ids_carry_paradigm_prefix() {
+        for p in all() {
+            match p.paradigm {
+                Paradigm::SharedMemory => assert!(p.id.starts_with("sm."), "{}", p.id),
+                Paradigm::MessagePassing => assert!(p.id.starts_with("mp."), "{}", p.id),
+            }
+        }
+    }
+
+    #[test]
+    fn find_known_and_unknown() {
+        assert!(find("mp.spmd").is_some());
+        assert!(find("sm.race").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn every_patternlet_has_source_and_teaches() {
+        for p in all() {
+            assert!(!p.source.trim().is_empty(), "{} has no listing", p.id);
+            assert!(!p.teaches.trim().is_empty(), "{} teaches nothing", p.id);
+            assert!(!p.name.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn pattern_filters_nonempty_for_core_patterns() {
+        for pat in [
+            Pattern::Spmd,
+            Pattern::DataDecomposition,
+            Pattern::TaskDecomposition,
+            Pattern::MutualExclusion,
+            Pattern::Reduction,
+            Pattern::CollectiveCommunication,
+            Pattern::MessagePassing,
+        ] {
+            assert!(!by_pattern(pat).is_empty(), "{pat:?} has no patternlets");
+        }
+    }
+
+    #[test]
+    fn every_patternlet_runs_at_np4() {
+        // A smoke pass over the whole catalog — every entry must produce
+        // output at the workshop's canonical size of 4.
+        for p in all() {
+            let out = p.run(4);
+            assert!(!out.lines.is_empty(), "{} produced no output", p.id);
+        }
+    }
+
+    #[test]
+    fn shared_memory_patternlets_run_oversubscribed() {
+        // 8 threads on a (possibly) 1-core host: correctness must hold.
+        for p in by_paradigm(Paradigm::SharedMemory) {
+            let out = p.run(8);
+            assert!(!out.lines.is_empty(), "{}", p.id);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Program-structure patternlets: SPMD, fork-join, barriers, and the
+//! master/single/sections work-sharing constructs.
+
+use parking_lot::Mutex;
+use pdc_shmem::constructs::{sections, SingleSite};
+use pdc_shmem::Team;
+
+use crate::{Paradigm, Pattern, Patternlet, RunOutput};
+
+fn collect_parallel(
+    n: usize,
+    f: impl Fn(&pdc_shmem::ThreadCtx, &Mutex<Vec<String>>) + Sync,
+) -> Vec<String> {
+    let lines = Mutex::new(Vec::new());
+    Team::new(n).parallel(|ctx| f(ctx, &lines));
+    lines.into_inner()
+}
+
+/// `sm.spmd` — the very first patternlet: every thread announces itself.
+pub static SPMD: Patternlet = Patternlet {
+    id: "sm.spmd",
+    name: "SPMD: Hello from every thread",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::Spmd,
+    teaches: "One program text runs on every thread; threads distinguish themselves by id.",
+    source: r#"#pragma omp parallel
+{
+    int id = omp_get_thread_num();
+    int numThreads = omp_get_num_threads();
+    printf("Hello from thread %d of %d\n", id, numThreads);
+}"#,
+    runner: |n| {
+        let lines = collect_parallel(n, |ctx, lines| {
+            lines.lock().push(format!(
+                "Hello from thread {} of {}",
+                ctx.thread_num(),
+                ctx.num_threads()
+            ));
+        });
+        RunOutput {
+            lines,
+            deterministic_order: false,
+        }
+    },
+};
+
+/// `sm.forkjoin` — sequential before, parallel middle, sequential after.
+pub static FORK_JOIN: Patternlet = Patternlet {
+    id: "sm.forkjoin",
+    name: "Fork-join",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::ForkJoin,
+    teaches: "A parallel region forks a team and joins it; code outside runs on one thread.",
+    source: r#"printf("Before...\n");
+#pragma omp parallel
+{
+    printf("During: thread %d\n", omp_get_thread_num());
+}
+printf("After...\n");"#,
+    runner: |n| {
+        let mut lines = vec!["Before...".to_owned()];
+        let during = collect_parallel(n, |ctx, lines| {
+            lines
+                .lock()
+                .push(format!("During: thread {}", ctx.thread_num()));
+        });
+        lines.extend(during);
+        lines.push("After...".to_owned());
+        RunOutput {
+            lines,
+            deterministic_order: false,
+        }
+    },
+};
+
+/// `sm.barrier` — all "arrived" lines precede all "past barrier" lines.
+pub static BARRIER: Patternlet = Patternlet {
+    id: "sm.barrier",
+    name: "Barrier",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::Synchronization,
+    teaches: "No thread passes a barrier until every thread has reached it.",
+    source: r#"#pragma omp parallel
+{
+    printf("Thread %d arrived\n", omp_get_thread_num());
+    #pragma omp barrier
+    printf("Thread %d past the barrier\n", omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let lines = collect_parallel(n, |ctx, lines| {
+            lines
+                .lock()
+                .push(format!("Thread {} arrived", ctx.thread_num()));
+            ctx.barrier();
+            lines
+                .lock()
+                .push(format!("Thread {} past the barrier", ctx.thread_num()));
+        });
+        RunOutput {
+            lines,
+            deterministic_order: false,
+        }
+    },
+};
+
+/// `sm.master` — only thread 0 runs the master block; no implied barrier.
+pub static MASTER: Patternlet = Patternlet {
+    id: "sm.master",
+    name: "Master",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::TaskDecomposition,
+    teaches: "The master construct runs a block on thread 0 only.",
+    source: r#"#pragma omp parallel
+{
+    printf("Hello from thread %d\n", omp_get_thread_num());
+    #pragma omp master
+    printf("Greetings from the master, thread %d\n", omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let lines = collect_parallel(n, |ctx, lines| {
+            lines
+                .lock()
+                .push(format!("Hello from thread {}", ctx.thread_num()));
+            ctx.master(|| {
+                lines.lock().push(format!(
+                    "Greetings from the master, thread {}",
+                    ctx.thread_num()
+                ));
+            });
+        });
+        RunOutput {
+            lines,
+            deterministic_order: false,
+        }
+    },
+};
+
+/// `sm.single` — exactly one (arbitrary) thread runs the single block.
+pub static SINGLE: Patternlet = Patternlet {
+    id: "sm.single",
+    name: "Single",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::TaskDecomposition,
+    teaches: "The single construct runs a block on exactly one thread — whichever arrives first.",
+    source: r#"#pragma omp parallel
+{
+    #pragma omp single
+    printf("Single block run by thread %d\n", omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let site = SingleSite::new();
+        let lines = collect_parallel(n, |ctx, lines| {
+            site.execute(ctx, || {
+                lines
+                    .lock()
+                    .push(format!("Single block run by thread {}", ctx.thread_num()));
+            });
+        });
+        RunOutput {
+            lines,
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.sections` — independent tasks dealt to whichever threads are free.
+pub static SECTIONS: Patternlet = Patternlet {
+    id: "sm.sections",
+    name: "Sections",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::TaskDecomposition,
+    teaches: "The sections construct runs each block exactly once, on any available thread.",
+    source: r#"#pragma omp parallel sections
+{
+    #pragma omp section
+    printf("Section A by thread %d\n", omp_get_thread_num());
+    #pragma omp section
+    printf("Section B by thread %d\n", omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let lines: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let team = Team::new(n);
+        let names = ["A", "B", "C", "D"];
+        let bodies: Vec<Box<dyn Fn() + Sync>> = names
+            .iter()
+            .map(|&name| {
+                let lines = &lines;
+                Box::new(move || {
+                    lines.lock().push(format!("Section {name} ran"));
+                }) as Box<dyn Fn() + Sync>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = bodies.iter().map(|b| b.as_ref()).collect();
+        sections(&team, &refs);
+        drop(refs);
+        drop(bodies);
+        RunOutput {
+            lines: lines.into_inner(),
+            deterministic_order: false,
+        }
+    },
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmd_one_line_per_thread() {
+        let out = SPMD.run(4);
+        assert_eq!(
+            out.sorted_lines(),
+            vec![
+                "Hello from thread 0 of 4",
+                "Hello from thread 1 of 4",
+                "Hello from thread 2 of 4",
+                "Hello from thread 3 of 4",
+            ]
+        );
+        assert!(!out.deterministic_order);
+    }
+
+    #[test]
+    fn forkjoin_brackets_parallel_part() {
+        let out = FORK_JOIN.run(3);
+        assert_eq!(out.lines.first().unwrap(), "Before...");
+        assert_eq!(out.lines.last().unwrap(), "After...");
+        assert_eq!(out.lines.len(), 5);
+    }
+
+    #[test]
+    fn barrier_separates_all_arrivals_from_departures() {
+        for _ in 0..5 {
+            let out = BARRIER.run(4);
+            let last_arrive = out
+                .lines
+                .iter()
+                .rposition(|l| l.contains("arrived"))
+                .unwrap();
+            let first_past = out
+                .lines
+                .iter()
+                .position(|l| l.contains("past the barrier"))
+                .unwrap();
+            assert!(
+                last_arrive < first_past,
+                "arrival after departure: {:?}",
+                out.lines
+            );
+        }
+    }
+
+    #[test]
+    fn master_line_comes_from_thread_zero() {
+        let out = MASTER.run(4);
+        let masters: Vec<&String> = out.lines.iter().filter(|l| l.contains("master")).collect();
+        assert_eq!(masters.len(), 1);
+        assert!(masters[0].ends_with("thread 0"));
+        assert_eq!(out.lines.len(), 5);
+    }
+
+    #[test]
+    fn single_runs_exactly_once() {
+        let out = SINGLE.run(8);
+        assert_eq!(out.lines.len(), 1);
+        assert!(out.lines[0].starts_with("Single block run by thread"));
+    }
+
+    #[test]
+    fn sections_each_exactly_once() {
+        let out = SECTIONS.run(2);
+        let mut got = out.sorted_lines();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                "Section A ran",
+                "Section B ran",
+                "Section C ran",
+                "Section D ran"
+            ]
+        );
+    }
+
+    #[test]
+    fn patternlets_work_single_threaded() {
+        for p in [&SPMD, &FORK_JOIN, &BARRIER, &MASTER, &SINGLE, &SECTIONS] {
+            let out = p.run(1);
+            assert!(!out.lines.is_empty(), "{}", p.id);
+        }
+    }
+}

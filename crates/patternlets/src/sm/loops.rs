@@ -1,0 +1,219 @@
+//! Data-decomposition patternlets: the two static loop splits the handout
+//! contrasts ("equal chunks" vs "chunks of 1") plus dynamic scheduling.
+
+use parking_lot::Mutex;
+use pdc_shmem::{parallel_for, Schedule, Team};
+
+use crate::{Paradigm, Pattern, Patternlet, RunOutput};
+
+const ITERATIONS: usize = 8;
+
+/// `sm.loop.equal` — each thread takes one contiguous block.
+pub static EQUAL_CHUNKS: Patternlet = Patternlet {
+    id: "sm.loop.equal",
+    name: "Parallel loop, equal chunks",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::DataDecomposition,
+    teaches: "schedule(static) splits the iteration range into one contiguous chunk per thread.",
+    source: r#"#pragma omp parallel for schedule(static)
+for (int i = 0; i < 8; ++i) {
+    printf("Iteration %d by thread %d\n", i, omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let by_iter: Vec<Mutex<usize>> = (0..ITERATIONS).map(|_| Mutex::new(usize::MAX)).collect();
+        parallel_for(
+            &Team::new(n),
+            0..ITERATIONS,
+            Schedule::Static { chunk: None },
+            |i, ctx| {
+                *by_iter[i].lock() = ctx.thread_num();
+            },
+        );
+        let lines = by_iter
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("Iteration {i} by thread {}", *t.lock()))
+            .collect();
+        RunOutput {
+            lines,
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.loop.chunks1` — round-robin dealing, like cards.
+pub static CHUNKS_OF_ONE: Patternlet = Patternlet {
+    id: "sm.loop.chunks1",
+    name: "Parallel loop, chunks of 1",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::DataDecomposition,
+    teaches: "schedule(static,1) deals iterations round-robin: thread = iteration mod numThreads.",
+    source: r#"#pragma omp parallel for schedule(static,1)
+for (int i = 0; i < 8; ++i) {
+    printf("Iteration %d by thread %d\n", i, omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let by_iter: Vec<Mutex<usize>> = (0..ITERATIONS).map(|_| Mutex::new(usize::MAX)).collect();
+        parallel_for(
+            &Team::new(n),
+            0..ITERATIONS,
+            Schedule::round_robin(),
+            |i, ctx| {
+                *by_iter[i].lock() = ctx.thread_num();
+            },
+        );
+        let lines = by_iter
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("Iteration {i} by thread {}", *t.lock()))
+            .collect();
+        RunOutput {
+            lines,
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.loop.dynamic` — threads grab work as they free up.
+pub static DYNAMIC_SCHEDULE: Patternlet = Patternlet {
+    id: "sm.loop.dynamic",
+    name: "Parallel loop, dynamic schedule",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::DataDecomposition,
+    teaches: "schedule(dynamic) balances irregular iteration costs by claiming work at run time.",
+    source: r#"#pragma omp parallel for schedule(dynamic,1)
+for (int i = 0; i < 8; ++i) {
+    do_irregular_work(i);   // cost grows with i
+    printf("Iteration %d by thread %d\n", i, omp_get_thread_num());
+}"#,
+    runner: |n| {
+        let claims: Vec<Mutex<usize>> = (0..ITERATIONS).map(|_| Mutex::new(usize::MAX)).collect();
+        parallel_for(
+            &Team::new(n),
+            0..ITERATIONS,
+            Schedule::Dynamic { chunk: 1 },
+            |i, ctx| {
+                // Irregular work: later iterations cost more.
+                let mut acc = 0u64;
+                for k in 0..(i as u64 + 1) * 2_000 {
+                    acc = acc.wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                *claims[i].lock() = ctx.thread_num();
+            },
+        );
+        let mut lines: Vec<String> = claims
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("Iteration {i} by thread {}", *t.lock()))
+            .collect();
+        lines.push(format!(
+            "All {ITERATIONS} iterations completed exactly once"
+        ));
+        RunOutput {
+            lines,
+            deterministic_order: false,
+        }
+    },
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(lines: &[String]) -> Vec<usize> {
+        lines
+            .iter()
+            .filter(|l| l.starts_with("Iteration"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn equal_chunks_are_contiguous() {
+        let out = EQUAL_CHUNKS.run(4);
+        // 8 iterations over 4 threads: 0 0 1 1 2 2 3 3.
+        assert_eq!(assignment(&out.lines), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn chunks_of_one_round_robin() {
+        let out = CHUNKS_OF_ONE.run(4);
+        assert_eq!(assignment(&out.lines), vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunks_of_one_with_three_threads() {
+        let out = CHUNKS_OF_ONE.run(3);
+        assert_eq!(assignment(&out.lines), vec![0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn dynamic_covers_every_iteration() {
+        let out = DYNAMIC_SCHEDULE.run(4);
+        let assigned = assignment(&out.lines);
+        assert_eq!(assigned.len(), ITERATIONS);
+        assert!(assigned.iter().all(|&t| t < 4), "{assigned:?}");
+        assert!(out.lines.last().unwrap().contains("exactly once"));
+    }
+
+    #[test]
+    fn single_thread_owns_everything() {
+        for p in [&EQUAL_CHUNKS, &CHUNKS_OF_ONE] {
+            let out = p.run(1);
+            assert!(assignment(&out.lines).iter().all(|&t| t == 0), "{}", p.id);
+        }
+    }
+}
+
+/// `sm.ordered` — an ordered section inside a parallel loop.
+pub static ORDERED: Patternlet = Patternlet {
+    id: "sm.ordered",
+    name: "Ordered sections in a parallel loop",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::Synchronization,
+    teaches:
+        "#pragma omp ordered runs a block in iteration order even though the loop is parallel.",
+    source: r#"#pragma omp parallel for ordered
+for (int i = 0; i < 8; ++i) {
+    int v = compute(i);          // runs in parallel, any order
+    #pragma omp ordered
+    printf("Iteration %d: %d\n", i, v);  // prints in order 0..7
+}"#,
+    runner: |n| {
+        use pdc_shmem::ordered::OrderedSite;
+        let site = OrderedSite::new(ITERATIONS);
+        let lines = Mutex::new(Vec::new());
+        parallel_for(
+            &Team::new(n),
+            0..ITERATIONS,
+            Schedule::round_robin(),
+            |i, _| {
+                let v = i * i + 1; // the "computed" value
+                site.ordered(i, || {
+                    lines.lock().push(format!("Iteration {i}: {v}"));
+                });
+            },
+        );
+        RunOutput {
+            lines: lines.into_inner(),
+            deterministic_order: true,
+        }
+    },
+};
+
+#[cfg(test)]
+mod ordered_tests {
+    use super::*;
+
+    #[test]
+    fn ordered_output_is_in_iteration_order() {
+        for threads in [1, 3, 4] {
+            let out = ORDERED.run(threads);
+            let want: Vec<String> = (0..ITERATIONS)
+                .map(|i| format!("Iteration {i}: {}", i * i + 1))
+                .collect();
+            assert_eq!(out.lines, want, "threads={threads}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Correctness patternlets: the race-condition → critical → atomic →
+//! reduction pedagogy ladder (the paper's Figure 1 shows the handout's
+//! race-condition section), plus private variables and max-reductions.
+
+use parking_lot::Mutex;
+use pdc_shmem::sync::{AtomicCounter, SpinLock};
+use pdc_shmem::{parallel_for, parallel_reduce, Schedule, Team};
+
+use crate::{Paradigm, Pattern, Patternlet, RunOutput};
+
+const ADDS_PER_THREAD: usize = 10_000;
+
+fn expected(n: usize) -> u64 {
+    (n * ADDS_PER_THREAD) as u64
+}
+
+/// `sm.private` — loop-private variables keep threads independent.
+pub static PRIVATE_VAR: Patternlet = Patternlet {
+    id: "sm.private",
+    name: "Private variables",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::MutualExclusion,
+    teaches:
+        "Each thread needs its own copy of per-iteration temporaries (private), not a shared one.",
+    source: r#"#pragma omp parallel private(localSum)
+{
+    int localSum = 0;             // one copy per thread
+    for (int i = 0; i < 1000; ++i) localSum += i;
+    printf("Thread %d: localSum = %d\n", omp_get_thread_num(), localSum);
+}"#,
+    runner: |n| {
+        let lines = Mutex::new(Vec::new());
+        Team::new(n).parallel(|ctx| {
+            // Stack locals are inherently private — the Rust analog of the
+            // `private` clause is simply declaring inside the region.
+            let local_sum: u64 = (0..1_000u64).sum();
+            lines.lock().push(format!(
+                "Thread {}: localSum = {local_sum}",
+                ctx.thread_num()
+            ));
+        });
+        RunOutput {
+            lines: lines.into_inner(),
+            deterministic_order: false,
+        }
+    },
+};
+
+/// `sm.race` — the famous broken one: unprotected `balance += 1`.
+pub static RACE_CONDITION: Patternlet = Patternlet {
+    id: "sm.race",
+    name: "Race condition (broken on purpose)",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::MutualExclusion,
+    teaches: "Unsynchronized read-modify-write of a shared variable loses updates.",
+    source: r#"int balance = 0;
+#pragma omp parallel for
+for (int i = 0; i < numThreads * 10000; ++i) {
+    balance = balance + 1;        // RACE: load and store are separate!
+}
+printf("Expected %d, got %d\n", numThreads * 10000, balance);"#,
+    runner: |n| {
+        let balance = AtomicCounter::new(0);
+        parallel_for(
+            &Team::new(n),
+            0..n * ADDS_PER_THREAD,
+            Schedule::default(),
+            |_, _| {
+                balance.add_racy(1);
+            },
+        );
+        let got = balance.get();
+        let want = expected(n);
+        RunOutput {
+            lines: vec![
+                format!("Expected sum: {want}"),
+                format!("Actual sum:   {got}"),
+                if got == want {
+                    "(the race did not manifest this run — try again!)".to_owned()
+                } else {
+                    format!("LOST {} updates to the race", want - got)
+                },
+            ],
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.critical` — fix the race with a critical section.
+pub static CRITICAL_FIX: Patternlet = Patternlet {
+    id: "sm.critical",
+    name: "Mutual exclusion: critical",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::MutualExclusion,
+    teaches: "#pragma omp critical serializes the read-modify-write, restoring correctness.",
+    source: r#"#pragma omp parallel for
+for (int i = 0; i < numThreads * 10000; ++i) {
+    #pragma omp critical
+    balance = balance + 1;
+}"#,
+    runner: |n| {
+        let balance = Mutex::new(0u64);
+        parallel_for(
+            &Team::new(n),
+            0..n * ADDS_PER_THREAD,
+            Schedule::default(),
+            |_, ctx| {
+                ctx.critical("balance", || {
+                    *balance.lock() += 1;
+                });
+            },
+        );
+        let got = *balance.lock();
+        RunOutput {
+            lines: vec![
+                format!("Expected sum: {}", expected(n)),
+                format!("Actual sum:   {got}"),
+            ],
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.atomic` — fix the race with an atomic update.
+pub static ATOMIC_FIX: Patternlet = Patternlet {
+    id: "sm.atomic",
+    name: "Mutual exclusion: atomic",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::MutualExclusion,
+    teaches: "#pragma omp atomic makes the single update indivisible — lighter than critical.",
+    source: r#"#pragma omp parallel for
+for (int i = 0; i < numThreads * 10000; ++i) {
+    #pragma omp atomic
+    balance += 1;
+}"#,
+    runner: |n| {
+        let balance = AtomicCounter::new(0);
+        parallel_for(
+            &Team::new(n),
+            0..n * ADDS_PER_THREAD,
+            Schedule::default(),
+            |_, _| {
+                balance.add(1);
+            },
+        );
+        RunOutput {
+            lines: vec![
+                format!("Expected sum: {}", expected(n)),
+                format!("Actual sum:   {}", balance.get()),
+            ],
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.locks` — fix the race with an explicit lock object.
+pub static LOCK_FIX: Patternlet = Patternlet {
+    id: "sm.locks",
+    name: "Mutual exclusion: explicit locks",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::MutualExclusion,
+    teaches: "omp_lock_t gives mutual exclusion an explicit, passable identity.",
+    source: r#"omp_lock_t lock;  omp_init_lock(&lock);
+#pragma omp parallel for
+for (int i = 0; i < numThreads * 10000; ++i) {
+    omp_set_lock(&lock);
+    balance = balance + 1;
+    omp_unset_lock(&lock);
+}"#,
+    runner: |n| {
+        let balance = SpinLock::new(0u64);
+        parallel_for(
+            &Team::new(n),
+            0..n * ADDS_PER_THREAD,
+            Schedule::default(),
+            |_, _| {
+                *balance.lock() += 1;
+            },
+        );
+        let got = *balance.lock();
+        RunOutput {
+            lines: vec![
+                format!("Expected sum: {}", expected(n)),
+                format!("Actual sum:   {got}"),
+            ],
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.reduction` — the scalable fix: private accumulators + combine.
+pub static REDUCTION_SUM: Patternlet = Patternlet {
+    id: "sm.reduction",
+    name: "Reduction (sum)",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::Reduction,
+    teaches: "reduction(+:var) gives each thread a private copy and combines them at the join.",
+    source: r#"int sum = 0;
+#pragma omp parallel for reduction(+:sum)
+for (int i = 1; i <= 1000000; ++i) {
+    sum += i;
+}"#,
+    runner: |n| {
+        const N: usize = 1_000_000;
+        let sum = parallel_reduce(
+            &Team::new(n),
+            1..N + 1,
+            Schedule::default(),
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        RunOutput {
+            lines: vec![format!("Sum of 1..={N} = {sum}")],
+            deterministic_order: true,
+        }
+    },
+};
+
+/// `sm.reduction.max` — reductions generalize beyond `+`.
+pub static REDUCTION_MAX: Patternlet = Patternlet {
+    id: "sm.reduction.max",
+    name: "Reduction (max)",
+    paradigm: Paradigm::SharedMemory,
+    pattern: Pattern::Reduction,
+    teaches: "Any associative-commutative operator reduces: here, max over an array.",
+    source: r#"int best = INT_MIN;
+#pragma omp parallel for reduction(max:best)
+for (int i = 0; i < n; ++i) {
+    if (a[i] > best) best = a[i];
+}"#,
+    runner: |n| {
+        // A deterministic pseudo-random array (linear congruential).
+        let data: Vec<u64> = {
+            let mut x = 88172645463325252u64;
+            (0..100_000)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x % 1_000_003
+                })
+                .collect()
+        };
+        let best = parallel_reduce(
+            &Team::new(n),
+            0..data.len(),
+            Schedule::default(),
+            0u64,
+            |i| data[i],
+            |a, b| a.max(b),
+        );
+        let seq_best = *data.iter().max().expect("non-empty");
+        RunOutput {
+            lines: vec![
+                format!("Parallel max:   {best}"),
+                format!("Sequential max: {seq_best}"),
+            ],
+            deterministic_order: true,
+        }
+    },
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actual_sum(out: &RunOutput) -> u64 {
+        out.lines
+            .iter()
+            .find(|l| l.starts_with("Actual sum:"))
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn race_loses_updates() {
+        let out = RACE_CONDITION.run(8);
+        let got = actual_sum(&out);
+        assert!(got <= expected(8));
+        assert!(
+            got < expected(8),
+            "the race-condition patternlet should lose updates"
+        );
+        assert!(out.lines[2].contains("LOST"));
+    }
+
+    #[test]
+    fn critical_is_correct() {
+        assert_eq!(actual_sum(&CRITICAL_FIX.run(8)), expected(8));
+    }
+
+    #[test]
+    fn atomic_is_correct() {
+        assert_eq!(actual_sum(&ATOMIC_FIX.run(8)), expected(8));
+    }
+
+    #[test]
+    fn locks_are_correct() {
+        assert_eq!(actual_sum(&LOCK_FIX.run(8)), expected(8));
+    }
+
+    #[test]
+    fn reduction_sum_closed_form() {
+        let out = REDUCTION_SUM.run(4);
+        let n = 1_000_000u64;
+        assert!(out.lines[0].ends_with(&format!("= {}", n * (n + 1) / 2)));
+    }
+
+    #[test]
+    fn reduction_max_matches_sequential() {
+        let out = REDUCTION_MAX.run(4);
+        let par: u64 = out.lines[0].rsplit(' ').next().unwrap().parse().unwrap();
+        let seq: u64 = out.lines[1].rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn private_var_every_thread_same_local() {
+        let out = PRIVATE_VAR.run(4);
+        assert_eq!(out.lines.len(), 4);
+        for l in &out.lines {
+            assert!(l.ends_with("localSum = 499500"), "{l}");
+        }
+    }
+
+    #[test]
+    fn fixes_are_correct_even_single_threaded() {
+        for p in [&CRITICAL_FIX, &ATOMIC_FIX, &LOCK_FIX] {
+            assert_eq!(actual_sum(&p.run(1)), expected(1), "{}", p.id);
+        }
+    }
+}

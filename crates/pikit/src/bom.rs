@@ -1,0 +1,196 @@
+//! Kit bill of materials and cost model — the paper's Table I.
+//!
+//! All money is integer cents; floats never touch prices.
+
+use serde::{Deserialize, Serialize};
+
+/// One line item of the kit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Part {
+    /// Catalog description, as printed in Table I.
+    pub name: String,
+    /// Unit cost in cents (bulk price, per the paper's note that parts
+    /// "can be bought in bulk").
+    pub unit_cents: u64,
+    /// Quantity per kit.
+    pub qty: u32,
+}
+
+impl Part {
+    /// Construct a line item.
+    pub fn new(name: &str, unit_cents: u64, qty: u32) -> Self {
+        Self {
+            name: name.to_owned(),
+            unit_cents,
+            qty,
+        }
+    }
+
+    /// Extended cost (unit × qty).
+    pub fn extended_cents(&self) -> u64 {
+        self.unit_cents * self.qty as u64
+    }
+}
+
+/// A mailed Raspberry Pi kit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kit {
+    /// Kit name.
+    pub name: String,
+    /// Line items.
+    pub parts: Vec<Part>,
+}
+
+impl Kit {
+    /// The exact kit of the paper's Table I ($100.66 total).
+    pub fn table1() -> Self {
+        Self {
+            name: "Mailed Raspberry Pi kit (Table I)".into(),
+            parts: vec![
+                Part::new("CanaKit with 2G Raspberry Pi", 6_299, 1),
+                Part::new("Ethernet-USB A dongle", 1_595, 1),
+                Part::new("USB A-C dongle", 399, 1),
+                Part::new("Ethernet cable", 155, 1),
+                Part::new("16G MicroSD", 541, 1),
+                Part::new("Kit case", 1_077, 1),
+            ],
+        }
+    }
+
+    /// The earlier, costlier Pimoroni-style kit the paper contrasts with
+    /// ("more expensive, bulkier"): same Pi plus monitor-replacement
+    /// extras. Prices reflect the SIGCSE'18 kit described in [47].
+    pub fn pimoroni_2018() -> Self {
+        Self {
+            name: "Pimoroni-based kit (SIGCSE'18 [47])".into(),
+            parts: vec![
+                Part::new("Pimoroni Raspberry Pi 3 Starter Kit", 11_500, 1),
+                Part::new("8\" HDMI display", 6_500, 1),
+                Part::new("USB keyboard + mouse", 2_000, 1),
+            ],
+        }
+    }
+
+    /// Total kit cost in cents.
+    pub fn total_cents(&self) -> u64 {
+        self.parts.iter().map(Part::extended_cents).sum()
+    }
+
+    /// Cost for outfitting a class of `n` students.
+    pub fn classroom_cents(&self, n: u32) -> u64 {
+        self.total_cents() * n as u64
+    }
+
+    /// Render the kit as the paper's Table I: one row per part, a total
+    /// row, prices formatted as dollars.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .parts
+            .iter()
+            .map(|p| p.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("Total Kit Cost".len());
+        out.push_str(&format!("{:<width$} | Cost\n", "Part", width = width));
+        out.push_str(&format!("{:-<width$}-+--------\n", "", width = width));
+        for p in self.parts.iter() {
+            out.push_str(&format!(
+                "{:<width$} | {}\n",
+                p.name,
+                format_dollars(p.extended_cents()),
+                width = width
+            ));
+        }
+        out.push_str(&format!("{:-<width$}-+--------\n", "", width = width));
+        out.push_str(&format!(
+            "{:<width$} | {}\n",
+            "Total Kit Cost",
+            format_dollars(self.total_cents()),
+            width = width
+        ));
+        out
+    }
+}
+
+/// Format cents as `$d.cc`.
+pub fn format_dollars(cents: u64) -> String {
+    format!("${}.{:02}", cents / 100, cents % 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_matches_paper() {
+        assert_eq!(Kit::table1().total_cents(), 10_066);
+        assert_eq!(format_dollars(Kit::table1().total_cents()), "$100.66");
+    }
+
+    #[test]
+    fn table1_has_six_parts_with_paper_prices() {
+        let kit = Kit::table1();
+        assert_eq!(kit.parts.len(), 6);
+        let by_name = |n: &str| {
+            kit.parts
+                .iter()
+                .find(|p| p.name == n)
+                .unwrap_or_else(|| panic!("missing part {n}"))
+                .unit_cents
+        };
+        assert_eq!(by_name("CanaKit with 2G Raspberry Pi"), 6_299);
+        assert_eq!(by_name("Ethernet-USB A dongle"), 1_595);
+        assert_eq!(by_name("USB A-C dongle"), 399);
+        assert_eq!(by_name("Ethernet cable"), 155);
+        assert_eq!(by_name("16G MicroSD"), 541);
+        assert_eq!(by_name("Kit case"), 1_077);
+    }
+
+    #[test]
+    fn new_kit_is_cheaper_than_pimoroni_kit() {
+        // The paper's claim: "a significant innovation over the
+        // Pimoroni-based kits … which were more expensive".
+        assert!(Kit::table1().total_cents() < Kit::pimoroni_2018().total_cents());
+    }
+
+    #[test]
+    fn extended_cost_multiplies_quantity() {
+        let p = Part::new("Ethernet cable", 155, 3);
+        assert_eq!(p.extended_cents(), 465);
+    }
+
+    #[test]
+    fn classroom_cost_scales_linearly() {
+        let kit = Kit::table1();
+        assert_eq!(kit.classroom_cents(22), 10_066 * 22);
+    }
+
+    #[test]
+    fn render_contains_all_rows_and_total() {
+        let table = Kit::table1().render_table();
+        assert!(table.contains("CanaKit with 2G Raspberry Pi"));
+        assert!(table.contains("$62.99"));
+        assert!(table.contains("$15.95"));
+        assert!(table.contains("$3.99"));
+        assert!(table.contains("$1.55"));
+        assert!(table.contains("$5.41"));
+        assert!(table.contains("$10.77"));
+        assert!(table.contains("Total Kit Cost"));
+        assert!(table.contains("$100.66"));
+    }
+
+    #[test]
+    fn dollars_formatting_pads_cents() {
+        assert_eq!(format_dollars(5), "$0.05");
+        assert_eq!(format_dollars(100), "$1.00");
+        assert_eq!(format_dollars(10_066), "$100.66");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let kit = Kit::table1();
+        let json = serde_json::to_string(&kit).unwrap();
+        assert_eq!(serde_json::from_str::<Kit>(&json).unwrap(), kit);
+    }
+}

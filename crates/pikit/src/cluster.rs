@@ -1,0 +1,154 @@
+//! Building a Beowulf cluster of Raspberry Pis.
+//!
+//! §II: "students can connect multiple SBCs to form their own Beowulf
+//! cluster [35]". This module scales the single-kit pipeline to a
+//! head-plus-workers cluster: a bill of materials (kits + switch +
+//! cabling), per-node provisioning with distinct hostnames, and a
+//! cluster-readiness check (every node booted, ssh-able, on the network,
+//! with the MPI stack present).
+
+use crate::bom::{Kit, Part};
+use crate::device::Device;
+use crate::provision::{Playbook, Report, SetHostname};
+
+/// A planned Pi cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterPlan {
+    /// Number of nodes (head included).
+    pub nodes: usize,
+    /// Hostname stem; nodes become `<stem>0` (head), `<stem>1`, ….
+    pub stem: String,
+}
+
+impl ClusterPlan {
+    /// Plan a cluster of `nodes` Pis (`>= 2`: a head and ≥ 1 worker).
+    pub fn new(nodes: usize, stem: &str) -> Self {
+        assert!(nodes >= 2, "a cluster needs a head and at least one worker");
+        Self {
+            nodes,
+            stem: stem.to_owned(),
+        }
+    }
+
+    /// Bill of materials: one Table-I kit per node, plus shared network
+    /// gear (an unmanaged switch and one patch cable per node).
+    pub fn bill_of_materials(&self) -> Kit {
+        let mut parts = Vec::new();
+        let node_kit = Kit::table1();
+        for p in node_kit.parts {
+            parts.push(Part::new(&p.name, p.unit_cents, p.qty * self.nodes as u32));
+        }
+        parts.push(Part::new("8-port unmanaged Ethernet switch", 2_299, 1));
+        parts.push(Part::new(
+            "Cat5e patch cable (switch uplink)",
+            155,
+            self.nodes as u32,
+        ));
+        Kit {
+            name: format!("{}-node Raspberry Pi Beowulf cluster", self.nodes),
+            parts,
+        }
+    }
+
+    /// Hostname of node `i`.
+    pub fn hostname(&self, i: usize) -> String {
+        format!("{}{i}", self.stem)
+    }
+
+    /// Provision every node: the standard kit playbook plus a per-node
+    /// hostname. Returns the devices and per-node reports.
+    pub fn provision(&self) -> (Vec<Device>, Vec<Report>) {
+        (0..self.nodes)
+            .map(|i| {
+                let mut dev = Device::kit_pi4();
+                let mut report = Playbook::kit_setup().run(&mut dev);
+                let hostname_fix =
+                    Playbook::new(vec![Box::new(SetHostname(self.hostname(i)))]).run(&mut dev);
+                report.entries.extend(hostname_fix.entries);
+                (dev, report)
+            })
+            .unzip()
+    }
+
+    /// Is a provisioned set of devices a working cluster? Every node must
+    /// be module-ready and hostnames must be distinct.
+    pub fn ready(&self, devices: &[Device]) -> bool {
+        if devices.len() != self.nodes {
+            return false;
+        }
+        let mut names: Vec<&str> = devices.iter().map(|d| d.hostname.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len() == self.nodes && devices.iter().all(Device::ready_for_module_a)
+    }
+
+    /// Total core count the cluster offers MPI jobs.
+    pub fn total_cores(&self, devices: &[Device]) -> usize {
+        devices.iter().map(|d| d.model.cores()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bom::format_dollars;
+
+    #[test]
+    fn bom_scales_kits_and_adds_network_gear() {
+        let plan = ClusterPlan::new(4, "pi");
+        let bom = plan.bill_of_materials();
+        // 4 × $100.66 + $22.99 switch + 4 × $1.55 cables = $431.83
+        assert_eq!(bom.total_cents(), 4 * 10_066 + 2_299 + 4 * 155);
+        assert_eq!(format_dollars(bom.total_cents()), "$431.83");
+        assert!(bom.render_table().contains("Ethernet switch"));
+    }
+
+    #[test]
+    fn provision_brings_up_every_node_with_unique_hostnames() {
+        let plan = ClusterPlan::new(3, "node");
+        let (devices, reports) = plan.provision();
+        assert_eq!(devices.len(), 3);
+        assert!(reports.iter().all(Report::success));
+        assert_eq!(devices[0].hostname, "node0");
+        assert_eq!(devices[2].hostname, "node2");
+        assert!(plan.ready(&devices));
+        assert_eq!(plan.total_cores(&devices), 12);
+    }
+
+    #[test]
+    fn duplicate_hostnames_break_readiness() {
+        let plan = ClusterPlan::new(2, "pi");
+        let (mut devices, _) = plan.provision();
+        devices[1].hostname = devices[0].hostname.clone();
+        assert!(!plan.ready(&devices));
+    }
+
+    #[test]
+    fn unbooted_node_breaks_readiness() {
+        let plan = ClusterPlan::new(2, "pi");
+        let (mut devices, _) = plan.provision();
+        devices[1].booted = false;
+        assert!(!plan.ready(&devices));
+    }
+
+    #[test]
+    fn wrong_node_count_breaks_readiness() {
+        let plan = ClusterPlan::new(3, "pi");
+        let (devices, _) = plan.provision();
+        assert!(!plan.ready(&devices[..2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "head and at least one worker")]
+    fn single_node_cluster_rejected() {
+        ClusterPlan::new(1, "pi");
+    }
+
+    #[test]
+    fn cluster_matches_platform_preset_topology() {
+        // The pikit cluster and the platform model agree on shape.
+        let plan = ClusterPlan::new(4, "pi");
+        let (devices, _) = plan.provision();
+        assert_eq!(plan.total_cores(&devices), 16); // pi_beowulf(4) = 4×4
+    }
+}

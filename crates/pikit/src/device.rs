@@ -1,0 +1,173 @@
+//! A simulated Raspberry Pi device.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::SystemImage;
+
+/// Raspberry Pi hardware models relevant to the workshop era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PiModel {
+    /// Raspberry Pi 2 (2015) — *not* supported by the csip image.
+    Pi2,
+    /// Raspberry Pi 3 Model B (2016).
+    Pi3B,
+    /// Raspberry Pi 3 Model B+ (2018).
+    Pi3BPlus,
+    /// Raspberry Pi 4 Model B (2019); the kit ships the 2 GB variant.
+    Pi4 {
+        /// Installed RAM in GB (1/2/4/8).
+        ram_gb: u8,
+    },
+    /// Raspberry Pi 400 keyboard computer (2020).
+    Pi400,
+}
+
+impl PiModel {
+    /// Hardware generation ordinal used for image-compatibility checks.
+    pub fn generation(&self) -> u8 {
+        match self {
+            PiModel::Pi2 => 2,
+            PiModel::Pi3B | PiModel::Pi3BPlus => 3,
+            PiModel::Pi4 { .. } | PiModel::Pi400 => 4,
+        }
+    }
+
+    /// Physical core count (all listed models are quad-core).
+    pub fn cores(&self) -> usize {
+        4
+    }
+
+    /// RAM in GB.
+    pub fn ram_gb(&self) -> u8 {
+        match self {
+            PiModel::Pi2 | PiModel::Pi3B | PiModel::Pi3BPlus => 1,
+            PiModel::Pi4 { ram_gb } => *ram_gb,
+            PiModel::Pi400 => 4,
+        }
+    }
+}
+
+/// An inserted microSD card.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SdCard {
+    /// Capacity in GB (the kit ships 16).
+    pub capacity_gb: u32,
+    /// Image flashed onto the card, if any.
+    pub flashed: Option<SystemImage>,
+}
+
+/// Full device state a provisioning run manipulates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// The hardware model.
+    pub model: PiModel,
+    /// Inserted SD card, if any.
+    pub sd: Option<SdCard>,
+    /// Ethernet link to the learner's laptop (via the kit's dongle).
+    pub ethernet_connected: bool,
+    /// Whether the device has successfully booted.
+    pub booted: bool,
+    /// SSH daemon enabled.
+    pub ssh_enabled: bool,
+    /// VNC server enabled (the handout's graphical route).
+    pub vnc_enabled: bool,
+    /// Configured hostname.
+    pub hostname: String,
+    /// Extra packages installed post-boot.
+    pub extra_packages: BTreeSet<String>,
+}
+
+impl Device {
+    /// A factory-fresh device of the given model: no card, no links.
+    pub fn new(model: PiModel) -> Self {
+        Self {
+            model,
+            sd: None,
+            ethernet_connected: false,
+            booted: false,
+            ssh_enabled: false,
+            vnc_enabled: false,
+            hostname: "raspberrypi".into(),
+            extra_packages: BTreeSet::new(),
+        }
+    }
+
+    /// The kit configuration: a Pi 4 (2 GB) with the 16 GB card inserted
+    /// but not yet flashed.
+    pub fn kit_pi4() -> Self {
+        let mut d = Self::new(PiModel::Pi4 { ram_gb: 2 });
+        d.sd = Some(SdCard {
+            capacity_gb: 16,
+            flashed: None,
+        });
+        d
+    }
+
+    /// Is a given package available (image-provided or post-installed)?
+    pub fn has_package(&self, pkg: &str) -> bool {
+        self.extra_packages.contains(pkg)
+            || self
+                .sd
+                .as_ref()
+                .and_then(|sd| sd.flashed.as_ref())
+                .map(|img| img.has_package(pkg))
+                .unwrap_or(false)
+    }
+
+    /// Ready for the handout's hands-on activity: booted from the csip
+    /// image, reachable over ethernet+ssh, patternlets available.
+    pub fn ready_for_module_a(&self) -> bool {
+        self.booted
+            && self.ethernet_connected
+            && self.ssh_enabled
+            && self.has_package("openmp-patternlets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_order_models() {
+        assert!(PiModel::Pi2.generation() < PiModel::Pi3B.generation());
+        assert_eq!(PiModel::Pi3B.generation(), PiModel::Pi3BPlus.generation());
+        assert!(PiModel::Pi3BPlus.generation() < PiModel::Pi400.generation());
+    }
+
+    #[test]
+    fn all_models_are_quad_core() {
+        for m in [
+            PiModel::Pi2,
+            PiModel::Pi3B,
+            PiModel::Pi4 { ram_gb: 2 },
+            PiModel::Pi400,
+        ] {
+            assert_eq!(m.cores(), 4);
+        }
+    }
+
+    #[test]
+    fn kit_device_shape() {
+        let d = Device::kit_pi4();
+        assert_eq!(d.model, PiModel::Pi4 { ram_gb: 2 });
+        assert_eq!(d.model.ram_gb(), 2);
+        let sd = d.sd.as_ref().unwrap();
+        assert_eq!(sd.capacity_gb, 16);
+        assert!(sd.flashed.is_none());
+        assert!(!d.ready_for_module_a());
+    }
+
+    #[test]
+    fn package_lookup_spans_image_and_extras() {
+        let mut d = Device::kit_pi4();
+        assert!(!d.has_package("gcc"));
+        d.sd.as_mut().unwrap().flashed = Some(SystemImage::csip_3_0_2());
+        assert!(d.has_package("gcc"));
+        assert!(!d.has_package("htop"));
+        d.extra_packages.insert("htop".into());
+        assert!(d.has_package("htop"));
+    }
+}

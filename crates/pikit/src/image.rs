@@ -1,0 +1,100 @@
+//! The customized Raspberry Pi system image.
+//!
+//! Models the paper's reference [45] — `csip-image-3.0.2` — which the
+//! authors describe as (i) working on "all Raspberry Pi models from the
+//! 3B onward", (ii) shipping the OpenMP code examples, and (iii) being
+//! maintained with Ansible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::PiModel;
+
+/// A flashable system image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemImage {
+    /// Image name (e.g. `csip-image`).
+    pub name: String,
+    /// Semantic version.
+    pub version: String,
+    /// Software preinstalled on the image.
+    pub packages: Vec<String>,
+    /// Minimum SD card size required, GB.
+    pub min_sd_gb: u32,
+}
+
+impl SystemImage {
+    /// The CSinParallel workshop image, v3.0.2 (paper reference [45]).
+    pub fn csip_3_0_2() -> Self {
+        Self {
+            name: "csip-image".into(),
+            version: "3.0.2".into(),
+            packages: vec![
+                "gcc".into(),
+                "g++".into(),
+                "libomp".into(),
+                "mpich".into(),
+                "python3".into(),
+                "mpi4py".into(),
+                "openmp-patternlets".into(),
+                "mpi-patternlets".into(),
+                "exemplars".into(),
+            ],
+            min_sd_gb: 8,
+        }
+    }
+
+    /// Does this image boot on the given Pi model? The csip image
+    /// supports "all Raspberry Pi models from the 3B onward".
+    pub fn supports(&self, model: PiModel) -> bool {
+        model.generation() >= PiModel::Pi3B.generation()
+    }
+
+    /// Is a package preinstalled?
+    pub fn has_package(&self, pkg: &str) -> bool {
+        self.packages.iter().any(|p| p == pkg)
+    }
+
+    /// Filename as distributed (paper reference [45] is
+    /// `2020-06-18-csip-image-3.0.2.zip`).
+    pub fn filename(&self) -> String {
+        format!("2020-06-18-{}-{}.zip", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csip_image_supports_3b_onward() {
+        let img = SystemImage::csip_3_0_2();
+        assert!(!img.supports(PiModel::Pi2));
+        assert!(img.supports(PiModel::Pi3B));
+        assert!(img.supports(PiModel::Pi3BPlus));
+        assert!(img.supports(PiModel::Pi4 { ram_gb: 2 }));
+        assert!(img.supports(PiModel::Pi400));
+    }
+
+    #[test]
+    fn csip_image_ships_the_module_software() {
+        let img = SystemImage::csip_3_0_2();
+        for pkg in ["gcc", "libomp", "mpich", "mpi4py", "openmp-patternlets"] {
+            assert!(img.has_package(pkg), "missing {pkg}");
+        }
+        assert!(!img.has_package("emacs"));
+    }
+
+    #[test]
+    fn filename_matches_distribution_name() {
+        assert_eq!(
+            SystemImage::csip_3_0_2().filename(),
+            "2020-06-18-csip-image-3.0.2.zip"
+        );
+    }
+
+    #[test]
+    fn fits_on_the_kit_sd_card() {
+        // Table I ships a 16 GB card; the image needs 8.
+        assert!(SystemImage::csip_3_0_2().min_sd_gb <= 16);
+    }
+}

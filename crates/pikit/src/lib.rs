@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # pdc-pikit
+//!
+//! The Raspberry Pi kit substrate behind the paper's Module A:
+//!
+//! * [`bom`] — the mailed kit's bill of materials and cost model
+//!   (Table I of the paper: six parts, $100.66 total).
+//! * [`image`] — the customized system image (`csip-image-3.0.2`, the
+//!   paper's reference [45]): version, supported Pi models ("tested and
+//!   confirmed to work on all Raspberry Pi models from the 3B onward"),
+//!   and preinstalled software.
+//! * [`device`] — a simulated Raspberry Pi device with the state a
+//!   provisioning run manipulates (SD card, network link, boot state,
+//!   installed packages).
+//! * [`provision`] — an Ansible-flavoured idempotent task engine ("to
+//!   keep these custom images up to date, we use Ansible and other
+//!   software maintenance tools"): tasks check state before changing it,
+//!   so re-running a playbook reports no changes.
+//!
+//! The paper attributes the zero-technical-issue workshop experience to
+//! the image + kit + setup videos; this crate models that pipeline so the
+//! claim ("reduces the total number of steps required for setup") becomes
+//! testable: the playbook for the kit has a fixed, small step count and a
+//! machine-checkable success condition.
+//!
+//! ```
+//! use pdc_pikit::bom::Kit;
+//!
+//! let kit = Kit::table1();
+//! assert_eq!(kit.total_cents(), 10_066); // $100.66
+//! ```
+
+pub mod bom;
+pub mod cluster;
+pub mod device;
+pub mod image;
+pub mod provision;
+
+pub use bom::{Kit, Part};
+pub use cluster::ClusterPlan;
+pub use device::{Device, PiModel};
+pub use image::SystemImage;
+pub use provision::{Playbook, ProvisionError, Report, TaskOutcome};

@@ -1,0 +1,440 @@
+//! An Ansible-flavoured idempotent provisioning engine.
+//!
+//! The paper: "To keep these custom images up to date, we use Ansible and
+//! other software maintenance tools." The engine's contract is Ansible's:
+//! every task first checks whether the device already satisfies its goal
+//! (→ `Ok`), only then mutates state (→ `Changed`), and reports failures
+//! with actionable messages (→ `Failed`) — the same troubleshooting the
+//! handout's setup videos walk learners through.
+
+use std::fmt;
+
+use crate::device::Device;
+use crate::image::SystemImage;
+
+/// A provisioning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvisionError {
+    /// No SD card present.
+    NoSdCard,
+    /// The card is smaller than the image requires.
+    SdTooSmall {
+        /// Card capacity, GB.
+        have_gb: u32,
+        /// Image requirement, GB.
+        need_gb: u32,
+    },
+    /// The image does not support this Pi model (e.g. a Pi 2).
+    UnsupportedModel,
+    /// Task requires a booted device.
+    NotBooted,
+    /// Task requires an SD card with a flashed image.
+    NotFlashed,
+    /// Task requires network connectivity.
+    NoNetwork,
+}
+
+impl fmt::Display for ProvisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvisionError::NoSdCard => write!(f, "no microSD card inserted"),
+            ProvisionError::SdTooSmall { have_gb, need_gb } => {
+                write!(f, "SD card too small: {have_gb} GB < required {need_gb} GB")
+            }
+            ProvisionError::UnsupportedModel => {
+                write!(
+                    f,
+                    "image does not support this Pi model (needs 3B or newer)"
+                )
+            }
+            ProvisionError::NotBooted => write!(f, "device has not booted"),
+            ProvisionError::NotFlashed => write!(f, "no system image flashed"),
+            ProvisionError::NoNetwork => write!(f, "no ethernet link to the laptop"),
+        }
+    }
+}
+
+impl std::error::Error for ProvisionError {}
+
+/// What happened to one task in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// Goal already satisfied; nothing done.
+    Ok,
+    /// State was changed to satisfy the goal.
+    Changed,
+    /// The task could not run.
+    Failed(ProvisionError),
+}
+
+/// A provisioning task: named goal + idempotent apply.
+pub trait Task {
+    /// Task name, as shown in run reports.
+    fn name(&self) -> &str;
+    /// Is the goal already satisfied?
+    fn satisfied(&self, dev: &Device) -> bool;
+    /// Make the goal true. Only called when `satisfied` is false.
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError>;
+}
+
+/// Flash a system image onto the inserted SD card.
+pub struct FlashImage(pub SystemImage);
+
+impl Task for FlashImage {
+    fn name(&self) -> &str {
+        "flash system image"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.sd
+            .as_ref()
+            .and_then(|sd| sd.flashed.as_ref())
+            .map(|img| img == &self.0)
+            .unwrap_or(false)
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        let sd = dev.sd.as_mut().ok_or(ProvisionError::NoSdCard)?;
+        if sd.capacity_gb < self.0.min_sd_gb {
+            return Err(ProvisionError::SdTooSmall {
+                have_gb: sd.capacity_gb,
+                need_gb: self.0.min_sd_gb,
+            });
+        }
+        sd.flashed = Some(self.0.clone());
+        // Re-flashing invalidates any running system.
+        dev.booted = false;
+        Ok(())
+    }
+}
+
+/// Connect the ethernet cable + dongle to the laptop.
+pub struct ConnectEthernet;
+
+impl Task for ConnectEthernet {
+    fn name(&self) -> &str {
+        "connect ethernet to laptop"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.ethernet_connected
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        dev.ethernet_connected = true;
+        Ok(())
+    }
+}
+
+/// Boot the device from the flashed image.
+pub struct Boot;
+
+impl Task for Boot {
+    fn name(&self) -> &str {
+        "boot from image"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.booted
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        let img = dev
+            .sd
+            .as_ref()
+            .ok_or(ProvisionError::NoSdCard)?
+            .flashed
+            .as_ref()
+            .ok_or(ProvisionError::NotFlashed)?;
+        if !img.supports(dev.model) {
+            return Err(ProvisionError::UnsupportedModel);
+        }
+        dev.booted = true;
+        Ok(())
+    }
+}
+
+/// Enable the SSH daemon.
+pub struct EnableSsh;
+
+impl Task for EnableSsh {
+    fn name(&self) -> &str {
+        "enable ssh"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.ssh_enabled
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        if !dev.booted {
+            return Err(ProvisionError::NotBooted);
+        }
+        dev.ssh_enabled = true;
+        Ok(())
+    }
+}
+
+/// Enable the VNC server.
+pub struct EnableVnc;
+
+impl Task for EnableVnc {
+    fn name(&self) -> &str {
+        "enable vnc"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.vnc_enabled
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        if !dev.booted {
+            return Err(ProvisionError::NotBooted);
+        }
+        dev.vnc_enabled = true;
+        Ok(())
+    }
+}
+
+/// Set the device hostname.
+pub struct SetHostname(pub String);
+
+impl Task for SetHostname {
+    fn name(&self) -> &str {
+        "set hostname"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.hostname == self.0
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        if !dev.booted {
+            return Err(ProvisionError::NotBooted);
+        }
+        dev.hostname = self.0.clone();
+        Ok(())
+    }
+}
+
+/// Install an extra package (requires boot + network).
+pub struct InstallPackage(pub String);
+
+impl Task for InstallPackage {
+    fn name(&self) -> &str {
+        "install package"
+    }
+    fn satisfied(&self, dev: &Device) -> bool {
+        dev.has_package(&self.0)
+    }
+    fn apply(&self, dev: &mut Device) -> Result<(), ProvisionError> {
+        if !dev.booted {
+            return Err(ProvisionError::NotBooted);
+        }
+        if !dev.ethernet_connected {
+            return Err(ProvisionError::NoNetwork);
+        }
+        dev.extra_packages.insert(self.0.clone());
+        Ok(())
+    }
+}
+
+/// Per-task result of a playbook run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// (task name, outcome) per task, in execution order.
+    pub entries: Vec<(String, TaskOutcome)>,
+}
+
+impl Report {
+    /// Did every task end `Ok` or `Changed`?
+    pub fn success(&self) -> bool {
+        !self
+            .entries
+            .iter()
+            .any(|(_, o)| matches!(o, TaskOutcome::Failed(_)))
+    }
+
+    /// Number of tasks that changed state.
+    pub fn changed(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, o)| matches!(o, TaskOutcome::Changed))
+            .count()
+    }
+
+    /// First failure, if any.
+    pub fn first_failure(&self) -> Option<(&str, &ProvisionError)> {
+        self.entries.iter().find_map(|(n, o)| match o {
+            TaskOutcome::Failed(e) => Some((n.as_str(), e)),
+            _ => None,
+        })
+    }
+}
+
+/// An ordered list of tasks.
+pub struct Playbook {
+    tasks: Vec<Box<dyn Task>>,
+}
+
+impl Playbook {
+    /// Build from tasks.
+    pub fn new(tasks: Vec<Box<dyn Task>>) -> Self {
+        Self { tasks }
+    }
+
+    /// The handout's chapter-1 setup sequence for the mailed kit — the
+    /// small fixed step count the paper credits for the smooth workshop.
+    pub fn kit_setup() -> Self {
+        Self::new(vec![
+            Box::new(FlashImage(SystemImage::csip_3_0_2())),
+            Box::new(ConnectEthernet),
+            Box::new(Boot),
+            Box::new(EnableSsh),
+            Box::new(EnableVnc),
+            Box::new(SetHostname("csip-pi".into())),
+        ])
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the playbook empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Run every task against the device. A failed task is recorded and
+    /// execution continues (Ansible's default is to stop; we continue so
+    /// a report shows *all* problems, which is what the setup videos'
+    /// troubleshooting sections enumerate).
+    pub fn run(&self, dev: &mut Device) -> Report {
+        let entries = self
+            .tasks
+            .iter()
+            .map(|t| {
+                let outcome = if t.satisfied(dev) {
+                    TaskOutcome::Ok
+                } else {
+                    match t.apply(dev) {
+                        Ok(()) => TaskOutcome::Changed,
+                        Err(e) => TaskOutcome::Failed(e),
+                    }
+                };
+                (t.name().to_owned(), outcome)
+            })
+            .collect();
+        Report { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::PiModel;
+
+    #[test]
+    fn kit_setup_succeeds_on_kit_device() {
+        let mut dev = Device::kit_pi4();
+        let report = Playbook::kit_setup().run(&mut dev);
+        assert!(report.success(), "{report:?}");
+        assert_eq!(
+            report.changed(),
+            6,
+            "fresh device: every task changes state"
+        );
+        assert!(dev.ready_for_module_a());
+        assert_eq!(dev.hostname, "csip-pi");
+    }
+
+    #[test]
+    fn second_run_is_idempotent() {
+        let mut dev = Device::kit_pi4();
+        let pb = Playbook::kit_setup();
+        pb.run(&mut dev);
+        let second = pb.run(&mut dev);
+        assert!(second.success());
+        assert_eq!(
+            second.changed(),
+            0,
+            "re-run must change nothing: {second:?}"
+        );
+    }
+
+    #[test]
+    fn pi2_fails_at_boot_with_unsupported_model() {
+        let mut dev = Device::new(PiModel::Pi2);
+        dev.sd = Some(crate::device::SdCard {
+            capacity_gb: 16,
+            flashed: None,
+        });
+        let report = Playbook::kit_setup().run(&mut dev);
+        assert!(!report.success());
+        let (task, err) = report.first_failure().unwrap();
+        assert_eq!(task, "boot from image");
+        assert_eq!(*err, ProvisionError::UnsupportedModel);
+        assert!(!dev.ready_for_module_a());
+    }
+
+    #[test]
+    fn missing_sd_card_fails_flash() {
+        let mut dev = Device::new(PiModel::Pi4 { ram_gb: 2 });
+        let report = Playbook::kit_setup().run(&mut dev);
+        let (task, err) = report.first_failure().unwrap();
+        assert_eq!(task, "flash system image");
+        assert_eq!(*err, ProvisionError::NoSdCard);
+    }
+
+    #[test]
+    fn small_sd_card_rejected() {
+        let mut dev = Device::new(PiModel::Pi4 { ram_gb: 2 });
+        dev.sd = Some(crate::device::SdCard {
+            capacity_gb: 4,
+            flashed: None,
+        });
+        let report = Playbook::kit_setup().run(&mut dev);
+        assert_eq!(
+            report.first_failure().unwrap().1,
+            &ProvisionError::SdTooSmall {
+                have_gb: 4,
+                need_gb: 8
+            }
+        );
+    }
+
+    #[test]
+    fn install_package_needs_boot_and_network() {
+        let mut dev = Device::kit_pi4();
+        let install = InstallPackage("htop".into());
+        assert_eq!(install.apply(&mut dev), Err(ProvisionError::NotBooted));
+        Playbook::kit_setup().run(&mut dev);
+        let report = Playbook::new(vec![Box::new(InstallPackage("htop".into()))]).run(&mut dev);
+        assert!(report.success());
+        assert!(dev.has_package("htop"));
+    }
+
+    #[test]
+    fn reflash_unboots_the_device() {
+        let mut dev = Device::kit_pi4();
+        Playbook::kit_setup().run(&mut dev);
+        assert!(dev.booted);
+        let mut newer = SystemImage::csip_3_0_2();
+        newer.version = "3.1.0".into();
+        FlashImage(newer).apply(&mut dev).unwrap();
+        assert!(!dev.booted, "flashing a new image must reset boot state");
+    }
+
+    #[test]
+    fn failure_does_not_abort_later_independent_tasks() {
+        // No SD card: flash and boot fail, but connecting ethernet (an
+        // independent physical step) still succeeds — matching how the
+        // videos let learners fix steps out of order.
+        let mut dev = Device::new(PiModel::Pi4 { ram_gb: 2 });
+        let report = Playbook::kit_setup().run(&mut dev);
+        let eth = report
+            .entries
+            .iter()
+            .find(|(n, _)| n == "connect ethernet to laptop")
+            .unwrap();
+        assert_eq!(eth.1, TaskOutcome::Changed);
+    }
+
+    #[test]
+    fn kit_setup_has_six_steps() {
+        // "reduces the total number of steps required for setup" — the
+        // pipeline is six machine-checkable steps.
+        let pb = Playbook::kit_setup();
+        assert_eq!(pb.len(), 6);
+        assert!(!pb.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Classical scalability laws, used by the courseware's benchmarking
+//! study (§III-A: "finally perform a small benchmarking study") and as
+//! analytic cross-checks for the execution model.
+
+/// Amdahl's law: speedup of a workload with serial fraction `f`
+/// (`0 <= f <= 1`) on `p` processors.
+pub fn amdahl_speedup(f: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "serial fraction in [0,1]");
+    assert!(p >= 1);
+    1.0 / (f + (1.0 - f) / p as f64)
+}
+
+/// Gustafson's law: scaled speedup with serial fraction `f` of the
+/// *parallel* runtime.
+pub fn gustafson_speedup(f: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&f), "serial fraction in [0,1]");
+    assert!(p >= 1);
+    p as f64 - f * (p as f64 - 1.0)
+}
+
+/// Karp–Flatt metric: the experimentally determined serial fraction
+/// implied by a measured speedup `s` on `p > 1` processors. Rising
+/// Karp–Flatt values across a sweep expose overhead growth.
+pub fn karp_flatt(s: f64, p: usize) -> f64 {
+    assert!(p > 1, "Karp–Flatt needs p > 1");
+    assert!(s > 0.0);
+    let p = p as f64;
+    (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+}
+
+/// Parallel efficiency `s / p`.
+pub fn efficiency(s: f64, p: usize) -> f64 {
+    s / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_limits() {
+        // f = 0: perfect speedup. f = 1: no speedup.
+        assert_eq!(amdahl_speedup(0.0, 8), 8.0);
+        assert_eq!(amdahl_speedup(1.0, 8), 1.0);
+        // f = 0.1, p → ∞ approaches 10.
+        assert!(amdahl_speedup(0.1, 1_000_000) < 10.0);
+        assert!(amdahl_speedup(0.1, 1_000_000) > 9.99);
+    }
+
+    #[test]
+    fn amdahl_textbook_value() {
+        // f = 0.05, p = 20 → 1/(0.05 + 0.95/20) = 10.256...
+        assert!((amdahl_speedup(0.05, 20) - 10.2564).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gustafson_textbook_value() {
+        // f = 0.1, p = 64 → 64 - 0.1*63 = 57.7
+        assert!((gustafson_speedup(0.1, 64) - 57.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_scaled_problems() {
+        for p in [2usize, 8, 64] {
+            assert!(gustafson_speedup(0.1, p) >= amdahl_speedup(0.1, p));
+        }
+    }
+
+    #[test]
+    fn karp_flatt_recovers_serial_fraction() {
+        // If speedup exactly follows Amdahl with f, Karp–Flatt returns f.
+        for &f in &[0.01, 0.1, 0.3] {
+            for &p in &[2usize, 4, 16] {
+                let s = amdahl_speedup(f, p);
+                assert!((karp_flatt(s, p) - f).abs() < 1e-12, "f={f} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn karp_flatt_zero_for_linear_speedup() {
+        assert!(karp_flatt(8.0, 8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_basic() {
+        assert_eq!(efficiency(4.0, 4), 1.0);
+        assert_eq!(efficiency(2.0, 4), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn amdahl_rejects_bad_fraction() {
+        amdahl_speedup(1.5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p > 1")]
+    fn karp_flatt_rejects_p1() {
+        karp_flatt(1.0, 1);
+    }
+}

@@ -1,0 +1,175 @@
+#![warn(missing_docs)]
+
+//! # pdc-platform
+//!
+//! Models of the four hardware platforms the paper's modules run on, plus
+//! an analytic execution model that predicts run time, speedup, and
+//! efficiency for a characterized workload on any of them.
+//!
+//! The paper's evaluation leans on platform differences rather than on any
+//! single machine:
+//!
+//! * **Raspberry Pi 4** (Module A): a 4-core SBC; the handout ends with a
+//!   benchmarking study of OpenMP exemplars on its 4 cores.
+//! * **Google Colab VM** (Module B, hour 1): a *single-core* cloud VM —
+//!   "the key concepts of message passing can still be demonstrated", but
+//!   "the Colab's single-core VMs prevent learners from experiencing
+//!   parallel speedup".
+//! * **St. Olaf VM** (Module B, hour 2): a 64-core server VM providing
+//!   "good parallel speedup and scalability".
+//! * **Chameleon cluster** (Module B, hour 2): a multi-node cloud test
+//!   bed reached through Jupyter.
+//!
+//! The reproduction host may itself be a one-core VM (it usually is —
+//! that's the Colab regime), so speedup beyond the host's cores is
+//! *predicted* by [`model::ExecutionModel`] from measured single-core
+//! characteristics, and validated against real thread-level measurements
+//! up to the host's core count. The model is deliberately simple and
+//! fully documented: Amdahl-style compute scaling, plus explicit
+//! fork/join, barrier, and message costs taken from the platform spec.
+//!
+//! ```
+//! use pdc_platform::{presets, model::ExecutionModel};
+//!
+//! // A 4-second perfectly-parallel workload with a 1% serial part:
+//! let wl = ExecutionModel::new(0.04, 3.96);
+//! let pi = presets::raspberry_pi_4();
+//! let colab = presets::colab_vm();
+//! let s_pi = pi.predict(&wl, 4).speedup;
+//! let s_colab = colab.predict(&wl, 4).speedup;
+//! assert!(s_pi > 3.0, "Pi: near-linear to 4 cores, got {s_pi}");
+//! assert!(s_colab <= 1.01, "Colab: no speedup on 1 core, got {s_colab}");
+//! ```
+
+pub mod laws;
+pub mod model;
+pub mod spec;
+pub mod topology;
+
+pub use model::{ExecutionModel, Prediction};
+pub use spec::{Platform, PlatformKind};
+pub use topology::Topology;
+
+/// Ready-made platform specifications matching the paper's hardware.
+pub mod presets {
+    use crate::spec::{Platform, PlatformKind};
+
+    /// Raspberry Pi 4 Model B (2 GB CanaKit from Table I): 4 Cortex-A72
+    /// cores at 1.5 GHz, one node.
+    pub fn raspberry_pi_4() -> Platform {
+        Platform {
+            name: "Raspberry Pi 4B".into(),
+            kind: PlatformKind::SingleBoard,
+            nodes: 1,
+            cores_per_node: 4,
+            clock_ghz: 1.5,
+            mem_gb_per_node: 2.0,
+            net_latency_us: 20.0,        // loopback
+            net_bandwidth_mb_s: 1_000.0, // in-memory
+            thread_spawn_us: 120.0,
+            barrier_us: 4.0,
+        }
+    }
+
+    /// Google Colab free-tier VM: one usable core (the paper: "Colab VMs
+    /// have just one core").
+    pub fn colab_vm() -> Platform {
+        Platform {
+            name: "Google Colab VM".into(),
+            kind: PlatformKind::CloudVm,
+            nodes: 1,
+            cores_per_node: 1,
+            clock_ghz: 2.2,
+            mem_gb_per_node: 12.0,
+            net_latency_us: 15.0,
+            net_bandwidth_mb_s: 2_000.0,
+            thread_spawn_us: 60.0,
+            barrier_us: 2.0,
+        }
+    }
+
+    /// The St. Olaf 64-core server VM (§III-B option 3; ≈ $5,000 server).
+    pub fn stolaf_vm() -> Platform {
+        Platform {
+            name: "St. Olaf 64-core VM".into(),
+            kind: PlatformKind::Server,
+            nodes: 1,
+            cores_per_node: 64,
+            clock_ghz: 2.5,
+            mem_gb_per_node: 256.0,
+            net_latency_us: 10.0,
+            net_bandwidth_mb_s: 4_000.0,
+            thread_spawn_us: 50.0,
+            barrier_us: 6.0,
+        }
+    }
+
+    /// A Chameleon Cloud bare-metal cluster slice: 4 nodes × 24 cores,
+    /// 10 GbE interconnect (typical of the testbed's Haswell nodes).
+    pub fn chameleon_cluster() -> Platform {
+        Platform {
+            name: "Chameleon cluster (4×24)".into(),
+            kind: PlatformKind::Cluster,
+            nodes: 4,
+            cores_per_node: 24,
+            clock_ghz: 2.3,
+            mem_gb_per_node: 128.0,
+            net_latency_us: 50.0,        // inter-node
+            net_bandwidth_mb_s: 1_250.0, // 10 GbE
+            thread_spawn_us: 80.0,
+            barrier_us: 30.0,
+        }
+    }
+
+    /// A home-built Beowulf cluster of `n` Raspberry Pis over 100 Mb
+    /// Ethernet — the "students can connect multiple SBCs to form their
+    /// own Beowulf cluster" option of §II.
+    pub fn pi_beowulf(n: usize) -> Platform {
+        Platform {
+            name: format!("Raspberry Pi Beowulf ({n} nodes)"),
+            kind: PlatformKind::Cluster,
+            nodes: n,
+            cores_per_node: 4,
+            clock_ghz: 1.5,
+            mem_gb_per_node: 2.0,
+            net_latency_us: 200.0,
+            net_bandwidth_mb_s: 12.5, // 100 Mb/s Ethernet
+            thread_spawn_us: 120.0,
+            barrier_us: 250.0,
+        }
+    }
+
+    /// The reproduction host itself, sized from `available_parallelism`.
+    pub fn host() -> Platform {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Platform {
+            name: format!("reproduction host ({cores} cores)"),
+            kind: PlatformKind::CloudVm,
+            nodes: 1,
+            cores_per_node: cores,
+            clock_ghz: 2.0,
+            mem_gb_per_node: 8.0,
+            net_latency_us: 15.0,
+            net_bandwidth_mb_s: 2_000.0,
+            thread_spawn_us: 60.0,
+            barrier_us: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_core_counts() {
+        assert_eq!(presets::raspberry_pi_4().total_cores(), 4);
+        assert_eq!(presets::colab_vm().total_cores(), 1);
+        assert_eq!(presets::stolaf_vm().total_cores(), 64);
+        assert_eq!(presets::chameleon_cluster().total_cores(), 96);
+        assert_eq!(presets::pi_beowulf(6).total_cores(), 24);
+        assert!(presets::host().total_cores() >= 1);
+    }
+}

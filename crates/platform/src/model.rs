@@ -1,0 +1,325 @@
+//! The analytic execution model.
+//!
+//! Characterize a workload once (serial part, parallel part, number of
+//! synchronization steps, communication shape), then predict its wall time
+//! on any [`Platform`] at any process count. The model is deliberately
+//! first-order — Amdahl compute scaling plus explicit fork, barrier, and
+//! message costs — because the paper's pedagogy is about *shapes*:
+//!
+//! * on the 1-core Colab VM the speedup curve is flat at 1;
+//! * on the 4-core Pi the exemplars speed up near-linearly to 4 threads;
+//! * on the 64-core VM and the Chameleon cluster speedup keeps climbing
+//!   until per-rank work shrinks to the order of the communication cost,
+//!   where the curve bends over (the scalability "knee").
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::Platform;
+
+/// How ranks communicate in each synchronization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CommShape {
+    /// Embarrassingly parallel: no communication at all.
+    #[default]
+    None,
+    /// Nearest-neighbour halo exchange (e.g. the forest-fire grid rows).
+    Halo,
+    /// Everyone sends to the root (linear gather/reduce).
+    AllToRoot,
+    /// Binomial-tree collective, `ceil(log2 p)` rounds.
+    Tree,
+}
+
+/// A characterized workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionModel {
+    /// Inherently serial work, in seconds on a 1 GHz reference core.
+    pub serial_ref_s: f64,
+    /// Perfectly divisible work, reference seconds.
+    pub parallel_ref_s: f64,
+    /// Number of synchronization rounds (0 for a single fork-join).
+    pub steps: usize,
+    /// Bytes each rank moves per round.
+    pub bytes_per_exchange: usize,
+    /// Communication shape per round.
+    pub comm: CommShape,
+}
+
+impl ExecutionModel {
+    /// An embarrassingly parallel workload: `serial` + `parallel`
+    /// reference-seconds, one fork-join, no messages.
+    pub fn new(serial_ref_s: f64, parallel_ref_s: f64) -> Self {
+        Self {
+            serial_ref_s,
+            parallel_ref_s,
+            steps: 0,
+            bytes_per_exchange: 0,
+            comm: CommShape::None,
+        }
+    }
+
+    /// Builder: set synchronization rounds and their communication.
+    pub fn with_comm(mut self, steps: usize, bytes_per_exchange: usize, comm: CommShape) -> Self {
+        self.steps = steps;
+        self.bytes_per_exchange = bytes_per_exchange;
+        self.comm = comm;
+        self
+    }
+
+    /// Serial fraction `f` in Amdahl's sense.
+    pub fn serial_fraction(&self) -> f64 {
+        self.serial_ref_s / (self.serial_ref_s + self.parallel_ref_s)
+    }
+}
+
+/// Model output for one (platform, workload, p) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Process/thread count the prediction is for.
+    pub p: usize,
+    /// Predicted wall-clock seconds.
+    pub total_s: f64,
+    /// Compute portion.
+    pub compute_s: f64,
+    /// Communication + barrier portion.
+    pub comm_s: f64,
+    /// Fork/spawn portion.
+    pub spawn_s: f64,
+    /// `T(1) / T(p)` on the same platform.
+    pub speedup: f64,
+    /// `speedup / p`.
+    pub efficiency: f64,
+}
+
+impl Platform {
+    /// Predict wall time and speedup for `model` at `p` ranks.
+    pub fn predict(&self, model: &ExecutionModel, p: usize) -> Prediction {
+        assert!(p >= 1, "need at least one rank");
+        let t1 = self.wall_time(model, 1);
+        let tp = self.wall_time(model, p);
+        let speedup = t1.total / tp.total;
+        Prediction {
+            p,
+            total_s: tp.total,
+            compute_s: tp.compute,
+            comm_s: tp.comm,
+            spawn_s: tp.spawn,
+            speedup,
+            efficiency: speedup / p as f64,
+        }
+    }
+
+    /// Predict over a sweep of process counts.
+    pub fn predict_sweep(&self, model: &ExecutionModel, ps: &[usize]) -> Vec<Prediction> {
+        ps.iter().map(|&p| self.predict(model, p)).collect()
+    }
+
+    fn wall_time(&self, model: &ExecutionModel, p: usize) -> WallTime {
+        let cores = self.total_cores();
+        // Compute: the serial part runs on one core; the parallel part is
+        // divided among p ranks, which time-share min(p, cores) cores.
+        let serial = self.compute_seconds(model.serial_ref_s);
+        let parallel = self.compute_seconds(model.parallel_ref_s) / p.min(cores) as f64;
+        // Oversubscription surcharge: context switching among p > cores
+        // ranks costs ~2% per extra rank (empirically small but nonzero).
+        let oversub = if p > cores {
+            1.0 + 0.02 * (p - cores) as f64
+        } else {
+            1.0
+        };
+        let compute = serial + parallel * oversub;
+
+        let spawn = if p > 1 {
+            p as f64 * self.thread_spawn_us * 1e-6
+        } else {
+            0.0
+        };
+
+        let comm = if p > 1 {
+            let spans_nodes = self.node_of_rank(p - 1, p) != 0;
+            let per_step = match model.comm {
+                CommShape::None => 0.0,
+                CommShape::Halo => {
+                    // Critical path: one rank's exchange with two
+                    // neighbours; inter-node if the run spans nodes.
+                    2.0 * self.message_seconds(model.bytes_per_exchange, !spans_nodes)
+                }
+                CommShape::AllToRoot => {
+                    // Root serially receives p-1 messages; those from its
+                    // own node are cheap.
+                    let ranks_per_node = p.div_ceil(self.nodes).min(p);
+                    let local = ranks_per_node.saturating_sub(1);
+                    let remote = p - 1 - local;
+                    local as f64 * self.message_seconds(model.bytes_per_exchange, true)
+                        + remote as f64 * self.message_seconds(model.bytes_per_exchange, false)
+                }
+                CommShape::Tree => {
+                    let rounds = (p as f64).log2().ceil();
+                    rounds * self.message_seconds(model.bytes_per_exchange, !spans_nodes)
+                }
+            };
+            let barrier = self.barrier_us * 1e-6 * (1.0 + (self.nodes as f64).log2());
+            let steps = model.steps.max(1) as f64;
+            steps * (per_step + barrier)
+        } else {
+            0.0
+        };
+
+        WallTime {
+            compute,
+            comm,
+            spawn,
+            total: compute + comm + spawn,
+        }
+    }
+}
+
+struct WallTime {
+    compute: f64,
+    comm: f64,
+    spawn: f64,
+    total: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn fire_like() -> ExecutionModel {
+        // Forest-fire-ish: 2s parallel work, 100 halo rounds of 3 KB.
+        ExecutionModel::new(0.01, 2.0).with_comm(100, 3_000, CommShape::Halo)
+    }
+
+    #[test]
+    fn colab_never_speeds_up() {
+        let colab = presets::colab_vm();
+        let wl = ExecutionModel::new(0.05, 4.0);
+        for p in [1, 2, 4, 8, 16] {
+            let s = colab.predict(&wl, p).speedup;
+            assert!(s <= 1.0 + 1e-9, "p={p}: {s}");
+        }
+    }
+
+    #[test]
+    fn pi_speeds_up_to_four_cores_then_flattens() {
+        let pi = presets::raspberry_pi_4();
+        let wl = ExecutionModel::new(0.02, 4.0);
+        let s2 = pi.predict(&wl, 2).speedup;
+        let s4 = pi.predict(&wl, 4).speedup;
+        let s8 = pi.predict(&wl, 8).speedup;
+        assert!(s2 > 1.8 && s2 <= 2.0, "s2={s2}");
+        assert!(s4 > 3.3 && s4 <= 4.0, "s4={s4}");
+        assert!(s8 <= s4 + 0.01, "no gain past 4 cores: s8={s8} s4={s4}");
+    }
+
+    #[test]
+    fn stolaf_scales_far_beyond_pi() {
+        let st = presets::stolaf_vm();
+        let wl = ExecutionModel::new(0.01, 8.0);
+        let s64 = st.predict(&wl, 64).speedup;
+        assert!(
+            s64 > 30.0,
+            "64-core VM should show strong speedup, got {s64}"
+        );
+        let pi4 = presets::raspberry_pi_4().predict(&wl, 4).speedup;
+        assert!(s64 > 5.0 * pi4);
+    }
+
+    #[test]
+    fn speedup_bounded_by_p_and_efficiency_by_one() {
+        let wl = fire_like();
+        for plat in [
+            presets::raspberry_pi_4(),
+            presets::colab_vm(),
+            presets::stolaf_vm(),
+            presets::chameleon_cluster(),
+            presets::pi_beowulf(4),
+        ] {
+            for p in [1usize, 2, 3, 4, 8, 16, 32, 64, 96] {
+                let pr = plat.predict(&wl, p);
+                assert!(pr.speedup <= p as f64 + 1e-9, "{} p={p}", plat.name);
+                assert!(pr.efficiency <= 1.0 + 1e-9);
+                assert!(pr.total_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn p1_prediction_is_pure_compute() {
+        let pi = presets::raspberry_pi_4();
+        let wl = fire_like();
+        let pr = pi.predict(&wl, 1);
+        assert_eq!(pr.speedup, 1.0);
+        assert_eq!(pr.comm_s, 0.0);
+        assert_eq!(pr.spawn_s, 0.0);
+    }
+
+    #[test]
+    fn communication_knee_on_pi_beowulf() {
+        // On the slow-network Pi cluster, a halo workload must eventually
+        // bend over: per-rank compute shrinks as 1/p while comm per step
+        // stays constant, so the curve has a knee before total cores.
+        let bw = presets::pi_beowulf(8); // 32 cores, 100 Mb Ethernet
+        let wl = fire_like();
+        let sweep = bw.predict_sweep(&wl, &[1, 2, 4, 8, 16, 32]);
+        let s: Vec<f64> = sweep.iter().map(|p| p.speedup).collect();
+        // Efficiency at 32 must be clearly worse than at 4.
+        let e4 = s[2] / 4.0;
+        let e32 = s[5] / 32.0;
+        assert!(
+            e32 < 0.8 * e4,
+            "expected a scalability knee: eff(4)={e4:.2} eff(32)={e32:.2}"
+        );
+    }
+
+    #[test]
+    fn chameleon_beats_pi_beowulf_on_same_workload() {
+        let wl = fire_like();
+        let cham = presets::chameleon_cluster().predict(&wl, 32).speedup;
+        let pis = presets::pi_beowulf(8).predict(&wl, 32).speedup;
+        assert!(cham > pis, "chameleon {cham} !> pi beowulf {pis}");
+    }
+
+    #[test]
+    fn alltoroot_costs_more_than_tree_at_scale() {
+        let st = presets::stolaf_vm();
+        let linear = ExecutionModel::new(0.0, 1.0).with_comm(50, 8_000, CommShape::AllToRoot);
+        let tree = ExecutionModel::new(0.0, 1.0).with_comm(50, 8_000, CommShape::Tree);
+        let t_lin = st.predict(&linear, 64).total_s;
+        let t_tree = st.predict(&tree, 64).total_s;
+        assert!(t_tree < t_lin, "tree {t_tree} !< linear {t_lin}");
+    }
+
+    #[test]
+    fn serial_fraction_amdahl_consistency() {
+        let wl = ExecutionModel::new(1.0, 9.0);
+        assert!((wl.serial_fraction() - 0.1).abs() < 1e-12);
+        // With zero overheads the model must reduce to Amdahl's law:
+        // use a platform with free spawn/comm.
+        let ideal = Platform {
+            thread_spawn_us: 0.0,
+            barrier_us: 0.0,
+            ..presets::stolaf_vm()
+        };
+        let p = 8;
+        let predicted = ideal.predict(&wl, p).speedup;
+        let amdahl = crate::laws::amdahl_speedup(0.1, p);
+        assert!(
+            (predicted - amdahl).abs() < 1e-9,
+            "model {predicted} vs amdahl {amdahl}"
+        );
+    }
+
+    #[test]
+    fn sweep_returns_one_prediction_per_p() {
+        let pi = presets::raspberry_pi_4();
+        let wl = ExecutionModel::new(0.1, 1.0);
+        let ps = [1, 2, 3, 4];
+        let sweep = pi.predict_sweep(&wl, &ps);
+        assert_eq!(sweep.len(), 4);
+        for (pr, &p) in sweep.iter().zip(&ps) {
+            assert_eq!(pr.p, p);
+        }
+    }
+}

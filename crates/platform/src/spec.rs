@@ -1,0 +1,160 @@
+//! Platform specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad platform category (affects nothing in the model directly; used
+/// for labelling and courseware narration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// A single-board computer such as the Raspberry Pi.
+    SingleBoard,
+    /// A cloud virtual machine (e.g. Colab's backing VM).
+    CloudVm,
+    /// A large shared-memory server.
+    Server,
+    /// A multi-node distributed-memory cluster.
+    Cluster,
+}
+
+/// A hardware platform description.
+///
+/// All timing parameters are *effective* values for the analytic model in
+/// [`crate::model`]; they are chosen to be realistic for the platform
+/// class, and the shapes they produce (who speeds up, who doesn't, where
+/// communication starts to dominate) are what the reproduction checks —
+/// not the absolute numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable name.
+    pub name: String,
+    /// Category.
+    pub kind: PlatformKind,
+    /// Number of nodes (1 for anything that isn't a cluster).
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Core clock in GHz; compute cost scales inversely with it.
+    pub clock_ghz: f64,
+    /// Memory per node (informational; reported in courseware).
+    pub mem_gb_per_node: f64,
+    /// One-way message latency between two ranks on *different* nodes,
+    /// microseconds. Intra-node messages pay 1/10 of this.
+    pub net_latency_us: f64,
+    /// Inter-node bandwidth, MB/s. Intra-node transfers run at 10×.
+    pub net_bandwidth_mb_s: f64,
+    /// Cost to spawn one worker thread/process, microseconds.
+    pub thread_spawn_us: f64,
+    /// Cost of one barrier across a full node, microseconds.
+    pub barrier_us: f64,
+}
+
+impl Platform {
+    /// Total cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Node that hosts a given rank under block mapping
+    /// (ranks `0..cores_per_node` on node 0, and so on, wrapping for
+    /// oversubscribed runs).
+    pub fn node_of_rank(&self, rank: usize, nprocs: usize) -> usize {
+        // Block-map nprocs ranks over the nodes as evenly as possible.
+        let per_node = nprocs.div_ceil(self.nodes);
+        (rank / per_node).min(self.nodes - 1)
+    }
+
+    /// Are two ranks co-located on one node?
+    pub fn same_node(&self, a: usize, b: usize, nprocs: usize) -> bool {
+        self.node_of_rank(a, nprocs) == self.node_of_rank(b, nprocs)
+    }
+
+    /// Seconds to move `bytes` between two ranks.
+    pub fn message_seconds(&self, bytes: usize, same_node: bool) -> f64 {
+        let (lat_us, bw) = if same_node {
+            (self.net_latency_us / 10.0, self.net_bandwidth_mb_s * 10.0)
+        } else {
+            (self.net_latency_us, self.net_bandwidth_mb_s)
+        };
+        lat_us * 1e-6 + bytes as f64 / (bw * 1e6)
+    }
+
+    /// Seconds of compute for `ref_seconds` of work measured on a 1 GHz
+    /// reference core.
+    pub fn compute_seconds(&self, ref_seconds: f64) -> f64 {
+        ref_seconds / self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn node_mapping_blocks_ranks() {
+        let cham = presets::chameleon_cluster(); // 4 nodes × 24
+        assert_eq!(cham.node_of_rank(0, 96), 0);
+        assert_eq!(cham.node_of_rank(23, 96), 0);
+        assert_eq!(cham.node_of_rank(24, 96), 1);
+        assert_eq!(cham.node_of_rank(95, 96), 3);
+    }
+
+    #[test]
+    fn node_mapping_small_runs_spread_evenly() {
+        let cham = presets::chameleon_cluster();
+        // 8 ranks over 4 nodes: 2 per node.
+        let nodes: Vec<usize> = (0..8).map(|r| cham.node_of_rank(r, 8)).collect();
+        assert_eq!(nodes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn node_mapping_never_exceeds_node_count() {
+        let cham = presets::chameleon_cluster();
+        for np in [1, 3, 96, 500] {
+            for r in 0..np {
+                assert!(cham.node_of_rank(r, np) < cham.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_platforms_are_always_same_node() {
+        let pi = presets::raspberry_pi_4();
+        assert!(pi.same_node(0, 3, 4));
+        assert!(pi.same_node(0, 7, 8));
+    }
+
+    #[test]
+    fn intra_node_messages_are_cheaper() {
+        let cham = presets::chameleon_cluster();
+        let near = cham.message_seconds(1024, true);
+        let far = cham.message_seconds(1024, false);
+        assert!(near < far, "{near} !< {far}");
+    }
+
+    #[test]
+    fn message_cost_monotone_in_bytes() {
+        let p = presets::pi_beowulf(2);
+        let mut last = 0.0;
+        for bytes in [0usize, 100, 10_000, 1_000_000] {
+            let t = p.message_seconds(bytes, false);
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn faster_clock_computes_faster() {
+        let pi = presets::raspberry_pi_4(); // 1.5 GHz
+        let st = presets::stolaf_vm(); // 2.5 GHz
+        assert!(st.compute_seconds(1.0) < pi.compute_seconds(1.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = presets::raspberry_pi_4();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Platform = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,84 @@
+//! Rank→host topologies, bridging platform specs to the message-passing
+//! runtime's `processor_name` (and to the cluster-flavoured hostnames a
+//! learner sees in mpirun output).
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::Platform;
+
+/// A concrete placement of `nprocs` ranks onto a platform's nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Hostname of the node each rank runs on, indexed by rank.
+    pub rank_hosts: Vec<String>,
+}
+
+impl Topology {
+    /// Block-map `nprocs` ranks onto the platform's nodes; node hostnames
+    /// are `<stem>0`, `<stem>1`, … for clusters, or the single node's
+    /// hostname for one-node platforms.
+    pub fn block(platform: &Platform, nprocs: usize, stem: &str) -> Self {
+        let rank_hosts = (0..nprocs)
+            .map(|r| {
+                if platform.nodes == 1 {
+                    stem.to_owned()
+                } else {
+                    format!("{stem}{}", platform.node_of_rank(r, nprocs))
+                }
+            })
+            .collect();
+        Self { rank_hosts }
+    }
+
+    /// Hostnames vector suitable for `pdc_mpc::World::with_hostnames`.
+    pub fn hostnames(&self) -> Vec<String> {
+        self.rank_hosts.clone()
+    }
+
+    /// Number of distinct hosts in use.
+    pub fn distinct_hosts(&self) -> usize {
+        let mut hosts: Vec<&String> = self.rank_hosts.iter().collect();
+        hosts.sort();
+        hosts.dedup();
+        hosts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn single_node_topology_uses_one_host() {
+        let topo = Topology::block(&presets::colab_vm(), 4, "d6ff4f902ed6");
+        assert_eq!(topo.rank_hosts, vec!["d6ff4f902ed6"; 4]);
+        assert_eq!(topo.distinct_hosts(), 1);
+    }
+
+    #[test]
+    fn cluster_topology_numbers_nodes() {
+        let topo = Topology::block(&presets::chameleon_cluster(), 8, "cham-node");
+        assert_eq!(
+            topo.rank_hosts,
+            vec![
+                "cham-node0",
+                "cham-node0",
+                "cham-node1",
+                "cham-node1",
+                "cham-node2",
+                "cham-node2",
+                "cham-node3",
+                "cham-node3"
+            ]
+        );
+        assert_eq!(topo.distinct_hosts(), 4);
+    }
+
+    #[test]
+    fn hostnames_length_matches_nprocs() {
+        let topo = Topology::block(&presets::pi_beowulf(3), 12, "pi");
+        assert_eq!(topo.hostnames().len(), 12);
+        assert_eq!(topo.distinct_hosts(), 3);
+    }
+}

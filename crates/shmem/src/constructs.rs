@@ -1,0 +1,150 @@
+//! Structured work-sharing constructs: `single` and `sections`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::team::{Team, ThreadCtx};
+
+/// The `#pragma omp single` analog: for each *round* of calls, exactly one
+/// team thread executes the closure (the first to arrive), the others skip
+/// it. Unlike `master`, any thread may win.
+///
+/// Each lexical `single` in OpenMP is a distinct construct; model that by
+/// creating one `SingleSite` per site, outside the parallel region:
+///
+/// ```
+/// use pdc_shmem::{Team, constructs::SingleSite};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let team = Team::new(4);
+/// let site = SingleSite::new();
+/// let runs = AtomicUsize::new(0);
+/// team.parallel(|ctx| {
+///     site.execute(ctx, || {
+///         runs.fetch_add(1, Ordering::SeqCst);
+///     });
+///     ctx.barrier(); // `single` carries an implied barrier in OpenMP
+/// });
+/// assert_eq!(runs.load(Ordering::SeqCst), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SingleSite {
+    /// Tickets taken so far; the thread that takes ticket `round * n`
+    /// executes round `round`.
+    arrivals: AtomicUsize,
+}
+
+impl SingleSite {
+    /// A fresh site (round counter at zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute `f` if this thread is the first of its team to arrive for
+    /// the current round. Returns `Some(result)` for the executing thread.
+    ///
+    /// All `ctx.num_threads()` threads must call `execute` the same number
+    /// of times (the usual OpenMP structured-block requirement).
+    pub fn execute<R>(&self, ctx: &ThreadCtx, f: impl FnOnce() -> R) -> Option<R> {
+        let ticket = self.arrivals.fetch_add(1, Ordering::AcqRel);
+        if ticket.is_multiple_of(ctx.num_threads()) {
+            Some(f())
+        } else {
+            None
+        }
+    }
+}
+
+/// The `#pragma omp sections` analog: each section closure runs exactly
+/// once, sections are dealt dynamically to team threads, and the call
+/// returns when all sections have completed (implied barrier).
+///
+/// ```
+/// use pdc_shmem::{Team, constructs::sections};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let team = Team::new(2);
+/// let a = AtomicUsize::new(0);
+/// let b = AtomicUsize::new(0);
+/// sections(&team, &[
+///     &|| { a.store(1, Ordering::SeqCst); },
+///     &|| { b.store(2, Ordering::SeqCst); },
+/// ]);
+/// assert_eq!((a.load(Ordering::SeqCst), b.load(Ordering::SeqCst)), (1, 2));
+/// ```
+pub fn sections(team: &Team, section_bodies: &[&(dyn Fn() + Sync)]) {
+    let next = AtomicUsize::new(0);
+    team.parallel(|_ctx| loop {
+        let idx = next.fetch_add(1, Ordering::AcqRel);
+        match section_bodies.get(idx) {
+            Some(body) => body(),
+            None => break,
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_runs_exactly_once_per_round() {
+        let team = Team::new(4);
+        let site = SingleSite::new();
+        let runs = AtomicUsize::new(0);
+        team.parallel(|ctx| {
+            for _ in 0..10 {
+                site.execute(ctx, || {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                });
+                ctx.barrier();
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn single_winner_gets_result() {
+        let team = Team::new(3);
+        let site = SingleSite::new();
+        let results = team.parallel_map(|ctx| site.execute(ctx, || 99));
+        let winners: Vec<_> = results.into_iter().flatten().collect();
+        assert_eq!(winners, vec![99]);
+    }
+
+    #[test]
+    fn sections_each_run_once() {
+        let team = Team::new(3);
+        let counters: Vec<AtomicUsize> = (0..7).map(|_| AtomicUsize::new(0)).collect();
+        let bodies: Vec<Box<dyn Fn() + Sync>> = (0..7)
+            .map(|i| {
+                let c = &counters[i];
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn Fn() + Sync>
+            })
+            .collect();
+        let refs: Vec<&(dyn Fn() + Sync)> = bodies.iter().map(|b| b.as_ref()).collect();
+        sections(&team, &refs);
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "section {i}");
+        }
+    }
+
+    #[test]
+    fn sections_with_more_threads_than_sections() {
+        let team = Team::new(8);
+        let hit = AtomicUsize::new(0);
+        let body: &(dyn Fn() + Sync) = &|| {
+            hit.fetch_add(1, Ordering::SeqCst);
+        };
+        sections(&team, &[body]);
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn sections_empty_list_is_noop() {
+        let team = Team::new(2);
+        sections(&team, &[]);
+    }
+}

@@ -1,0 +1,106 @@
+//! The `#pragma omp ordered` analog: a section inside a parallel loop
+//! that executes in iteration order, regardless of which threads run
+//! which iterations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::backoff;
+
+/// An ordered-section gate over iterations `0..len`: iteration `i`'s
+/// ordered block runs only after blocks `0..i` have all completed.
+///
+/// ```
+/// use pdc_shmem::{parallel_for, ordered::OrderedSite, Schedule, Team};
+/// use parking_lot::Mutex;
+///
+/// let team = Team::new(4);
+/// let site = OrderedSite::new(10);
+/// let out = Mutex::new(Vec::new());
+/// parallel_for(&team, 0..10, Schedule::round_robin(), |i, _| {
+///     // ... unordered work here ...
+///     site.ordered(i, || out.lock().push(i));
+/// });
+/// assert_eq!(*out.lock(), (0..10).collect::<Vec<_>>());
+/// ```
+pub struct OrderedSite {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl OrderedSite {
+    /// Gate for a loop of `len` iterations.
+    pub fn new(len: usize) -> Self {
+        Self {
+            next: AtomicUsize::new(0),
+            len,
+        }
+    }
+
+    /// Run `f` as iteration `i`'s ordered block; blocks until every
+    /// earlier iteration's block has run. Each `i` must be used exactly
+    /// once and be `< len`.
+    pub fn ordered<R>(&self, i: usize, f: impl FnOnce() -> R) -> R {
+        assert!(i < self.len, "iteration {i} out of range 0..{}", self.len);
+        let mut tries = 0u32;
+        while self.next.load(Ordering::Acquire) != i {
+            backoff(tries);
+            tries = tries.saturating_add(1);
+        }
+        let r = f();
+        self.next.store(i + 1, Ordering::Release);
+        r
+    }
+
+    /// How many ordered blocks have completed.
+    pub fn completed(&self) -> usize {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parallel_for, Schedule, Team};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn output_is_in_iteration_order_for_every_schedule() {
+        for schedule in [
+            Schedule::Static { chunk: None },
+            Schedule::round_robin(),
+            Schedule::Dynamic { chunk: 2 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let team = Team::new(4);
+            let site = OrderedSite::new(20);
+            let out = Mutex::new(Vec::new());
+            parallel_for(&team, 0..20, schedule, |i, _| {
+                site.ordered(i, || out.lock().push(i));
+            });
+            assert_eq!(*out.lock(), (0..20).collect::<Vec<_>>(), "{schedule:?}");
+            assert_eq!(site.completed(), 20);
+        }
+    }
+
+    #[test]
+    fn returns_block_value() {
+        let site = OrderedSite::new(1);
+        assert_eq!(site.ordered(0, || 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_iteration_panics() {
+        OrderedSite::new(3).ordered(3, || ());
+    }
+
+    #[test]
+    fn works_single_threaded_sequentially() {
+        let site = OrderedSite::new(5);
+        let mut v = Vec::new();
+        for i in 0..5 {
+            site.ordered(i, || v.push(i * i));
+        }
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+}

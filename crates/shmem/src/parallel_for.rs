@@ -1,0 +1,195 @@
+//! Work-sharing parallel loops — `#pragma omp parallel for`.
+
+use std::ops::Range;
+
+use crate::schedule::{DynamicCursor, Schedule};
+use crate::team::{Team, ThreadCtx};
+
+/// Execute `body(i, ctx)` for every `i` in `range`, work-shared across the
+/// team under `schedule`. Each index runs exactly once.
+///
+/// ```
+/// use pdc_shmem::{parallel_for, Team, Schedule};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let team = Team::new(4);
+/// let sum = AtomicUsize::new(0);
+/// parallel_for(&team, 0..100, Schedule::default(), |i, _ctx| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 99 * 100 / 2);
+/// ```
+pub fn parallel_for<F>(team: &Team, range: Range<usize>, schedule: Schedule, body: F)
+where
+    F: Fn(usize, &ThreadCtx) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let offset = range.start;
+    match schedule {
+        Schedule::Static { .. } => {
+            team.parallel(|ctx| {
+                for chunk in schedule.static_chunks(len, ctx.thread_num(), ctx.num_threads()) {
+                    for i in chunk {
+                        body(offset + i, ctx);
+                    }
+                }
+            });
+        }
+        Schedule::Dynamic { .. } | Schedule::Guided { .. } => {
+            let cursor = DynamicCursor::new(len, team.num_threads(), schedule);
+            team.parallel(|ctx| {
+                while let Some(chunk) = cursor.claim() {
+                    for i in chunk {
+                        body(offset + i, ctx);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// Apply `body` to every element of `items` in parallel, passing the
+/// element index — the slice-flavoured convenience over [`parallel_for`].
+///
+/// ```
+/// use pdc_shmem::{parallel_for_each, Team, Schedule};
+///
+/// let team = Team::new(3);
+/// let mut data = vec![1u64, 2, 3, 4, 5];
+/// parallel_for_each(&team, Schedule::round_robin(), &mut data, |x| *x *= 10);
+/// assert_eq!(data, vec![10, 20, 30, 40, 50]);
+/// ```
+pub fn parallel_for_each<T, F>(team: &Team, schedule: Schedule, items: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    parallel_for_each_indexed(team, schedule, items, |_, item| body(item));
+}
+
+/// Like [`parallel_for_each`], but the body also receives the element's
+/// index — the shape stencil-style updates need (read neighbours from an
+/// immutable snapshot, write your own slot).
+///
+/// ```
+/// use pdc_shmem::{parallel_for_each_indexed, Team, Schedule};
+///
+/// let team = Team::new(2);
+/// let mut v = vec![0usize; 6];
+/// parallel_for_each_indexed(&team, Schedule::default(), &mut v, |i, x| *x = i * i);
+/// assert_eq!(v, vec![0, 1, 4, 9, 16, 25]);
+/// ```
+pub fn parallel_for_each_indexed<T, F>(team: &Team, schedule: Schedule, items: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    // Hand out disjoint &mut element access across threads via raw parts;
+    // the schedule guarantees each index is visited exactly once, which is
+    // the aliasing invariant the unsafe block relies on (and which the
+    // schedule module's property tests pin down).
+    struct Ptr<T>(*mut T);
+    // SAFETY: each index is accessed by exactly one thread (schedule
+    // partition invariant), so sharing the base pointer is sound.
+    unsafe impl<T> Sync for Ptr<T> {}
+    impl<T> Ptr<T> {
+        /// Method (not field) access, so closures capture the whole
+        /// wrapper — edition-2021 precise capture would otherwise grab the
+        /// raw pointer field and lose the `Sync` impl.
+        fn at(&self, i: usize) -> *mut T {
+            // SAFETY of the deref is the caller's obligation; computing
+            // the address is safe for any in-bounds i.
+            unsafe { self.0.add(i) }
+        }
+    }
+    let base = Ptr(items.as_mut_ptr());
+    let len = items.len();
+    parallel_for(team, 0..len, schedule, |i, _ctx| {
+        // SAFETY: i < len and visited exactly once across all threads.
+        let item = unsafe { &mut *base.at(i) };
+        body(i, item);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn cover_check(schedule: Schedule, threads: usize, len: usize) {
+        let team = Team::new(threads);
+        let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(&team, 0..len, schedule, |i, _| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} under {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn all_schedules_cover_every_index_once() {
+        for schedule in [
+            Schedule::Static { chunk: None },
+            Schedule::Static { chunk: Some(1) },
+            Schedule::Static { chunk: Some(3) },
+            Schedule::Dynamic { chunk: 1 },
+            Schedule::Dynamic { chunk: 5 },
+            Schedule::Guided { min_chunk: 2 },
+        ] {
+            cover_check(schedule, 4, 103);
+        }
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let team = Team::new(4);
+        let hits = AtomicUsize::new(0);
+        parallel_for(&team, 5..5, Schedule::default(), |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn non_zero_range_start_offsets_indices() {
+        let team = Team::new(3);
+        let sum = AtomicUsize::new(0);
+        parallel_for(&team, 10..20, Schedule::Dynamic { chunk: 2 }, |i, _| {
+            assert!((10..20).contains(&i));
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (10..20).sum::<usize>());
+    }
+
+    #[test]
+    fn more_threads_than_iterations() {
+        cover_check(Schedule::default(), 8, 3);
+        cover_check(Schedule::Dynamic { chunk: 2 }, 8, 3);
+    }
+
+    #[test]
+    fn for_each_mutates_every_element() {
+        let team = Team::new(4);
+        let mut v: Vec<usize> = (0..57).collect();
+        parallel_for_each(&team, Schedule::Dynamic { chunk: 4 }, &mut v, |x| *x += 100);
+        assert_eq!(v, (100..157).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_empty_slice() {
+        let team = Team::new(2);
+        let mut v: Vec<u8> = vec![];
+        parallel_for_each(&team, Schedule::default(), &mut v, |_| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn body_sees_thread_ctx() {
+        let team = Team::new(4);
+        parallel_for(&team, 0..16, Schedule::round_robin(), |_, ctx| {
+            assert!(ctx.thread_num() < ctx.num_threads());
+            assert_eq!(ctx.num_threads(), 4);
+        });
+    }
+}

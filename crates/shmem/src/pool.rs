@@ -1,0 +1,243 @@
+//! A persistent worker pool.
+//!
+//! Real OpenMP runtimes keep the thread team alive between parallel
+//! regions; [`crate::Team`] (scoped fork-join) pays the spawn cost every
+//! region. [`ThreadPool`] is the persistent alternative: workers park on
+//! a condvar between regions, and a region is a broadcast of one job to
+//! every worker plus a join barrier. The `ablate_spawn` bench quantifies
+//! the difference — the "thread spawn cost" parameter of the platform
+//! model made measurable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// The job broadcast to every worker for one region.
+type Job = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+struct PoolState {
+    /// Monotone region counter; workers run one job per generation.
+    generation: u64,
+    /// Job for the current generation (None once between regions).
+    job: Option<Job>,
+    /// Workers still running the current generation.
+    running: usize,
+    /// Pool is shutting down.
+    shutdown: bool,
+}
+
+/// A persistent team of worker threads executing fork-join regions
+/// without per-region spawns.
+///
+/// ```
+/// use pdc_shmem::pool::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = ThreadPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..3 {
+///     let hits = Arc::clone(&hits);
+///     pool.region(move |_thread, _of| {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// assert_eq!(hits.load(Ordering::SeqCst), 12);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+    regions_run: AtomicUsize,
+    /// Serializes concurrent `region` callers (regions are fork-join
+    /// phases; two at once on one pool would corrupt the job slot).
+    region_gate: Mutex<()>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool of `n` persistent workers (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                running: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pdc-pool-{id}"))
+                    .spawn(move || worker_loop(id, n, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            size: n,
+            regions_run: AtomicUsize::new(0),
+            region_gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Regions executed so far (diagnostic).
+    pub fn regions_run(&self) -> usize {
+        self.regions_run.load(Ordering::Relaxed)
+    }
+
+    /// Run `body(thread_id, pool_size)` on every worker; returns when all
+    /// have finished (fork-join without the fork cost).
+    ///
+    /// Unlike [`crate::Team::parallel`], the body must be `'static`
+    /// (workers outlive the call); share state via `Arc`.
+    pub fn region<F>(&self, body: F)
+    where
+        F: Fn(usize, usize) + Send + Sync + 'static,
+    {
+        let job: Job = Arc::new(body);
+        let _gate = self.region_gate.lock(); // one region at a time per pool
+        let mut st = self.shared.state.lock();
+        debug_assert!(st.job.is_none(), "gate guarantees no concurrent region");
+        st.job = Some(job);
+        st.running = self.size;
+        st.generation += 1;
+        let gen = st.generation;
+        self.shared.work_ready.notify_all();
+        while st.running > 0 && st.generation == gen {
+            self.shared.work_done.wait(&mut st);
+        }
+        st.job = None;
+        self.regions_run.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock();
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, n: usize, shared: &PoolShared) {
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != last_gen {
+                    if let Some(job) = st.job.clone() {
+                        last_gen = st.generation;
+                        break job;
+                    }
+                }
+                shared.work_ready.wait(&mut st);
+            }
+        };
+        job(id, n);
+        let mut st = shared.state.lock();
+        st.running -= 1;
+        if st.running == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_worker_runs_each_region() {
+        let pool = ThreadPool::new(5);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let hits = Arc::clone(&hits);
+            pool.region(move |_, _| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+        assert_eq!(pool.regions_run(), 10);
+    }
+
+    #[test]
+    fn worker_ids_are_distinct() {
+        let pool = ThreadPool::new(4);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        pool.region(move |id, of| {
+            assert_eq!(of, 4);
+            s2.lock().push(id);
+        });
+        let mut ids = seen.lock().clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_survives_many_small_regions() {
+        let pool = ThreadPool::new(3);
+        let total = Arc::new(AtomicUsize::new(0));
+        for i in 0..200 {
+            let total = Arc::clone(&total);
+            pool.region(move |id, _| {
+                total.fetch_add(i + id, Ordering::Relaxed);
+            });
+        }
+        // Sum over i of (3i + 0+1+2) = 3*sum(i) + 3*200.
+        assert_eq!(total.load(Ordering::Relaxed), 3 * (199 * 200 / 2) + 3 * 200);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(2);
+        pool.region(|_, _| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = ThreadPool::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.region(move |id, of| {
+            assert_eq!((id, of), (0, 1));
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_worker_pool_rejected() {
+        ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Reductions — the `reduction(op:var)` clause, plus the whole pedagogy
+//! ladder leading up to it.
+//!
+//! The module's patternlet sequence walks learners through four ways of
+//! accumulating into a shared variable, in order of increasing quality:
+//!
+//! 1. [`reduce_with_race`] — unprotected read-modify-write: **wrong**,
+//!    loses updates (the race-condition patternlet).
+//! 2. [`reduce_with_critical`] — every update inside a critical section:
+//!    correct but fully serialized.
+//! 3. [`reduce_with_atomic`] — every update a CAS-loop atomic add:
+//!    correct, cheaper than a lock, still one cache line of contention.
+//! 4. [`parallel_reduce`] — private per-thread accumulators combined once
+//!    at the end: correct and scalable (what `reduction(+:x)` compiles to).
+//!
+//! The `ablate_reduction` bench quantifies the ladder; the patternlets
+//! narrate it.
+
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+use crate::parallel_for;
+use crate::schedule::Schedule;
+use crate::sync::{AtomicF64, SpinLock};
+use crate::team::Team;
+
+/// Proper OpenMP-style reduction: each thread folds its share of the
+/// iteration space into a private accumulator; the accumulators are then
+/// combined in thread order.
+///
+/// `combine` must be associative, and `identity` its neutral element —
+/// the same contract `reduction(op:var)` imposes. For floating-point `+`
+/// the result may differ from the sequential sum by rounding
+/// rearrangement, exactly as in OpenMP.
+pub fn parallel_reduce<T, M, C>(
+    team: &Team,
+    range: Range<usize>,
+    schedule: Schedule,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Clone + Send + Sync,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let offset = range.start;
+    match schedule {
+        Schedule::Static { .. } => {
+            let partials = team.parallel_map(|ctx| {
+                let mut acc = identity.clone();
+                for chunk in schedule.static_chunks(len, ctx.thread_num(), ctx.num_threads()) {
+                    for i in chunk {
+                        acc = combine(acc, map(offset + i));
+                    }
+                }
+                acc
+            });
+            partials.into_iter().fold(identity, &combine)
+        }
+        Schedule::Dynamic { .. } | Schedule::Guided { .. } => {
+            let cursor = crate::schedule::DynamicCursor::new(len, team.num_threads(), schedule);
+            let partials = team.parallel_map(|_ctx| {
+                let mut acc = identity.clone();
+                while let Some(chunk) = cursor.claim() {
+                    for i in chunk {
+                        acc = combine(acc, map(offset + i));
+                    }
+                }
+                acc
+            });
+            partials.into_iter().fold(identity, combine)
+        }
+    }
+}
+
+/// Rung 3 of the ladder: a shared [`AtomicF64`] updated with a CAS loop
+/// per iteration. Correct; contended.
+pub fn reduce_with_atomic<M>(team: &Team, range: Range<usize>, map: M) -> f64
+where
+    M: Fn(usize) -> f64 + Sync,
+{
+    let total = AtomicF64::new(0.0);
+    parallel_for(team, range, Schedule::default(), |i, _| {
+        total.fetch_add(map(i));
+    });
+    total.load(Ordering::Acquire)
+}
+
+/// Rung 2 of the ladder: a shared accumulator behind a [`SpinLock`],
+/// locked around every single update. Correct; fully serialized.
+pub fn reduce_with_critical<M>(team: &Team, range: Range<usize>, map: M) -> f64
+where
+    M: Fn(usize) -> f64 + Sync,
+{
+    let total = SpinLock::new(0.0f64);
+    parallel_for(team, range, Schedule::default(), |i, _| {
+        *total.lock() += map(i);
+    });
+    total.into_inner()
+}
+
+/// Rung 1 of the ladder: the **intentionally racy** accumulation
+/// (separate load and store with a yield between them). Returns whatever
+/// survives the lost updates — used by the race-condition patternlet to
+/// show learners a wrong answer before teaching them the fix.
+pub fn reduce_with_race(team: &Team, range: Range<usize>, per_iter: u64) -> u64 {
+    use crate::sync::AtomicCounter;
+    let total = AtomicCounter::new(0);
+    parallel_for(team, range, Schedule::default(), |_, _| {
+        total.add_racy(per_iter);
+    });
+    total.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_matches_sequential_fold_integers() {
+        let team = Team::new(4);
+        for schedule in [
+            Schedule::default(),
+            Schedule::round_robin(),
+            Schedule::Dynamic { chunk: 3 },
+            Schedule::Guided { min_chunk: 1 },
+        ] {
+            let got = parallel_reduce(&team, 0..1_000, schedule, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(got, (0..1_000u64).sum::<u64>(), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_empty_range_is_identity() {
+        // `identity` must be the neutral element of `combine`; an empty
+        // range then reduces to it (each thread contributes identity).
+        let team = Team::new(4);
+        let got = parallel_reduce(
+            &team,
+            3..3,
+            Schedule::default(),
+            0i64,
+            |_| unreachable!(),
+            |a, b| a + b,
+        );
+        assert_eq!(got, 0);
+        let got = parallel_reduce(
+            &team,
+            3..3,
+            Schedule::default(),
+            1i64,
+            |_| unreachable!(),
+            |a, b| a * b,
+        );
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn reduce_max_operator() {
+        let team = Team::new(3);
+        let data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let got = parallel_reduce(
+            &team,
+            0..data.len(),
+            Schedule::Dynamic { chunk: 2 },
+            i64::MIN,
+            |i| data[i],
+            |a, b| a.max(b),
+        );
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn reduce_float_close_to_sequential() {
+        let team = Team::new(4);
+        let got = parallel_reduce(
+            &team,
+            0..10_000,
+            Schedule::default(),
+            0.0f64,
+            |i| 1.0 / (i as f64 + 1.0),
+            |a, b| a + b,
+        );
+        let seq: f64 = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).sum();
+        assert!((got - seq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_and_critical_reductions_exact_for_integers_as_floats() {
+        let team = Team::new(4);
+        // Sums of small integers are exact in f64, so all strategies agree.
+        let expected = (0..500).sum::<usize>() as f64;
+        assert_eq!(reduce_with_atomic(&team, 0..500, |i| i as f64), expected);
+        assert_eq!(reduce_with_critical(&team, 0..500, |i| i as f64), expected);
+    }
+
+    #[test]
+    fn racy_reduction_undercounts() {
+        let team = Team::new(8);
+        let n = 4_000;
+        let got = reduce_with_race(&team, 0..n, 1);
+        assert!(got <= n as u64);
+        assert!(
+            got < n as u64,
+            "racy reduction produced the exact total; lost-update window never hit"
+        );
+    }
+
+    #[test]
+    fn reduce_string_concat_is_deterministic_per_schedule() {
+        // Static scheduling fixes which indices each thread folds, and
+        // partials are combined in thread order, so the (non-commutative!)
+        // string concatenation still yields the sequential answer.
+        let team = Team::new(4);
+        let got = parallel_reduce(
+            &team,
+            0..10,
+            Schedule::default(),
+            String::new(),
+            |i| i.to_string(),
+            |a, b| a + &b,
+        );
+        assert_eq!(got, "0123456789");
+    }
+
+    #[test]
+    fn single_thread_reduce_equals_fold() {
+        let team = Team::new(1);
+        let got = parallel_reduce(
+            &team,
+            0..100,
+            Schedule::default(),
+            1u64,
+            |i| i as u64 + 1,
+            |a, b| a * b % 1_000_000_007,
+        );
+        let want = (0..100u64).fold(1u64, |a, i| a * (i + 1) % 1_000_000_007);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,195 @@
+//! Parallel prefix scan — the classic two-phase block algorithm.
+//!
+//! Prefix sums are the canonical "surprisingly parallelizable" teaching
+//! algorithm: the sequential loop looks inherently ordered, yet the
+//! two-phase scheme (scan your block; exclusive-scan the block totals;
+//! add your block's offset) parallelizes it with two sweeps. Offered
+//! both inclusively and exclusively, like `MPI_Scan`/`MPI_Exscan`.
+
+use crate::schedule::Schedule;
+use crate::team::Team;
+
+/// In-place **inclusive** prefix scan: `data[i] ← op(data[0..=i])`.
+///
+/// `op` must be associative; blocks combine left-to-right, so it need
+/// not be commutative.
+///
+/// ```
+/// use pdc_shmem::{scan::parallel_inclusive_scan, Team};
+///
+/// let mut v = vec![1u64, 2, 3, 4, 5];
+/// parallel_inclusive_scan(&Team::new(3), &mut v, |a, b| a + b);
+/// assert_eq!(v, vec![1, 3, 6, 10, 15]);
+/// ```
+pub fn parallel_inclusive_scan<T, F>(team: &Team, data: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let nthreads = team.num_threads().min(n);
+    let schedule = Schedule::Static { chunk: None };
+
+    // Phase 1: each thread scans its contiguous block in place and
+    // reports the block total.
+    let block_of = |t: usize| -> std::ops::Range<usize> {
+        let chunks = schedule.static_chunks(n, t, nthreads);
+        chunks.first().cloned().unwrap_or(0..0)
+    };
+    let totals: Vec<Option<T>> = {
+        // Slice the data into disjoint blocks, one per thread.
+        let mut blocks: Vec<&mut [T]> = Vec::with_capacity(nthreads);
+        let mut rest = &mut *data;
+        let mut consumed = 0;
+        for t in 0..nthreads {
+            let r = block_of(t);
+            let (head, tail) = rest.split_at_mut(r.len());
+            debug_assert_eq!(r.start, consumed);
+            consumed += r.len();
+            blocks.push(head);
+            rest = tail;
+        }
+        let scan_team = Team::new(nthreads);
+        let block_cells: Vec<parking_lot::Mutex<Option<&mut [T]>>> = blocks
+            .into_iter()
+            .map(|b| parking_lot::Mutex::new(Some(b)))
+            .collect();
+        scan_team.parallel_map(|ctx| {
+            let mut guard = block_cells[ctx.thread_num()].lock();
+            let block = guard.take().expect("each block taken once");
+            for i in 1..block.len() {
+                block[i] = op(&block[i - 1], &block[i]);
+            }
+            block.last().cloned()
+        })
+    };
+
+    // Phase 2 (sequential, O(nthreads)): exclusive scan of block totals.
+    let mut offsets: Vec<Option<T>> = vec![None; nthreads];
+    let mut running: Option<T> = None;
+    for (t, total) in totals.into_iter().enumerate() {
+        offsets[t] = running.clone();
+        running = match (running, total) {
+            (Some(acc), Some(t)) => Some(op(&acc, &t)),
+            (None, t) => t,
+            (acc, None) => acc,
+        };
+    }
+
+    // Phase 3: each thread adds its offset to its whole block.
+    {
+        let mut blocks: Vec<&mut [T]> = Vec::with_capacity(nthreads);
+        let mut rest = &mut *data;
+        for t in 0..nthreads {
+            let r = block_of(t);
+            let (head, tail) = rest.split_at_mut(r.len());
+            blocks.push(head);
+            rest = tail;
+        }
+        let cells: Vec<parking_lot::Mutex<Option<&mut [T]>>> = blocks
+            .into_iter()
+            .map(|b| parking_lot::Mutex::new(Some(b)))
+            .collect();
+        let offsets = &offsets;
+        Team::new(nthreads).parallel(|ctx| {
+            let t = ctx.thread_num();
+            if let Some(off) = &offsets[t] {
+                let mut guard = cells[t].lock();
+                let block = guard.take().expect("each block taken once");
+                for x in block.iter_mut() {
+                    *x = op(off, x);
+                }
+            }
+        });
+    }
+}
+
+/// In-place **exclusive** prefix scan: `data[i] ← op(identity, data[0..i])`,
+/// with `data[0] ← identity` — `MPI_Exscan` with a supplied identity.
+pub fn parallel_exclusive_scan<T, F>(team: &Team, data: &mut [T], identity: T, op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    parallel_inclusive_scan(team, data, &op);
+    // Shift right by one; drop the grand total.
+    for i in (1..data.len()).rev() {
+        data[i] = data[i - 1].clone();
+    }
+    data[0] = identity;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_inclusive(v: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0u64;
+        for &x in v {
+            acc += x;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn matches_sequential_scan_across_sizes_and_teams() {
+        for n in [0usize, 1, 2, 5, 16, 97, 1000] {
+            let input: Vec<u64> = (0..n as u64).map(|i| i * 3 + 1).collect();
+            let want = seq_inclusive(&input);
+            for threads in [1, 2, 3, 4, 8] {
+                let mut v = input.clone();
+                parallel_inclusive_scan(&Team::new(threads), &mut v, |a, b| a + b);
+                assert_eq!(v, want, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_commutative_op_works() {
+        // String concatenation: associative, not commutative.
+        let input: Vec<String> = (0..7).map(|i| i.to_string()).collect();
+        let mut v = input.clone();
+        parallel_inclusive_scan(&Team::new(3), &mut v, |a, b| format!("{a}{b}"));
+        assert_eq!(v[6], "0123456");
+        assert_eq!(v[2], "012");
+    }
+
+    #[test]
+    fn exclusive_scan_shifts() {
+        let mut v = vec![1u64, 2, 3, 4];
+        parallel_exclusive_scan(&Team::new(2), &mut v, 0, |a, b| a + b);
+        assert_eq!(v, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn exclusive_scan_empty_and_single() {
+        let mut v: Vec<u64> = vec![];
+        parallel_exclusive_scan(&Team::new(2), &mut v, 0, |a, b| a + b);
+        assert!(v.is_empty());
+        let mut v = vec![9u64];
+        parallel_exclusive_scan(&Team::new(4), &mut v, 0, |a, b| a + b);
+        assert_eq!(v, vec![0]);
+    }
+
+    #[test]
+    fn max_scan() {
+        let mut v = vec![3i64, 1, 4, 1, 5, 9, 2, 6];
+        parallel_inclusive_scan(&Team::new(4), &mut v, |a, b| *a.max(b));
+        assert_eq!(v, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn more_threads_than_elements() {
+        let mut v = vec![1u64, 1];
+        parallel_inclusive_scan(&Team::new(8), &mut v, |a, b| a + b);
+        assert_eq!(v, vec![1, 2]);
+    }
+}

@@ -1,0 +1,115 @@
+//! An atomic `f64` built from `AtomicU64` bit-casting and CAS loops.
+//!
+//! This is the `#pragma omp atomic` analog for floating-point accumulation
+//! (OpenMP supports `atomic update` on doubles; Rust's std has no
+//! `AtomicF64`). Used by the reduction-strategy ablation and by the
+//! "atomic" rung of the race→critical→atomic→reduction pedagogy ladder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 64-bit float supporting atomic read-modify-write via CAS.
+#[derive(Debug, Default)]
+pub struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    /// Create with an initial value.
+    pub fn new(value: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(value.to_bits()),
+        }
+    }
+
+    /// Atomic load.
+    pub fn load(&self, order: Ordering) -> f64 {
+        f64::from_bits(self.bits.load(order))
+    }
+
+    /// Atomic store.
+    pub fn store(&self, value: f64, order: Ordering) {
+        self.bits.store(value.to_bits(), order);
+    }
+
+    /// Atomically apply `f` to the current value, retrying on contention.
+    /// Returns the previous value.
+    pub fn fetch_update_with<F: Fn(f64) -> f64>(&self, f: F) -> f64 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(prev) => return f64::from_bits(prev),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Atomic `+=`; returns the previous value.
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        self.fetch_update_with(|v| v + delta)
+    }
+
+    /// Atomic max-in-place; returns the previous value.
+    pub fn fetch_max(&self, other: f64) -> f64 {
+        self.fetch_update_with(|v| v.max(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn load_store_round_trip() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.load(Ordering::SeqCst), 1.5);
+        a.store(-0.25, Ordering::SeqCst);
+        assert_eq!(a.load(Ordering::SeqCst), -0.25);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let a = AtomicF64::new(10.0);
+        assert_eq!(a.fetch_add(2.5), 10.0);
+        assert_eq!(a.load(Ordering::SeqCst), 12.5);
+    }
+
+    #[test]
+    fn fetch_max_keeps_larger() {
+        let a = AtomicF64::new(3.0);
+        a.fetch_max(1.0);
+        assert_eq!(a.load(Ordering::SeqCst), 3.0);
+        a.fetch_max(7.5);
+        assert_eq!(a.load(Ordering::SeqCst), 7.5);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        const THREADS: usize = 8;
+        const PER: usize = 1_000;
+        let a = Arc::new(AtomicF64::new(0.0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let a = Arc::clone(&a);
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        a.fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.load(Ordering::SeqCst), (THREADS * PER) as f64);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_bits() {
+        let a = AtomicF64::new(-0.0);
+        assert!(a.load(Ordering::SeqCst).is_sign_negative());
+        a.store(f64::NAN, Ordering::SeqCst);
+        assert!(a.load(Ordering::SeqCst).is_nan());
+    }
+}

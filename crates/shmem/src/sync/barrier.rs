@@ -1,0 +1,243 @@
+//! Reusable thread barriers.
+//!
+//! Two implementations with identical semantics and different waiting
+//! strategies, compared head-to-head by the `ablate_barrier` bench:
+//!
+//! * [`SenseBarrier`] — a centralized sense-reversing barrier: one atomic
+//!   arrival counter plus a generation word; waiters spin (with yielding
+//!   backoff) on the generation. Lowest latency when cores are plentiful.
+//! * [`BlockingBarrier`] — mutex + condvar; waiters sleep. Higher
+//!   per-barrier cost but kind to oversubscribed hosts — exactly the
+//!   trade-off a single-core Colab VM vs. a 64-core server exposes.
+//!
+//! Both are *reusable*: the same barrier object synchronizes any number of
+//! consecutive phases, which is what `#pragma omp barrier` inside a loop
+//! requires.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use super::backoff;
+
+/// Common interface for reusable barriers.
+pub trait Barrier: Send + Sync {
+    /// Block until all `n` member threads have called `wait` for the
+    /// current phase. Returns `true` for exactly one thread per phase
+    /// (the "leader", analogous to `std::sync::Barrier`'s
+    /// `BarrierWaitResult::is_leader`).
+    fn wait(&self) -> bool;
+
+    /// Number of member threads.
+    fn members(&self) -> usize;
+}
+
+/// Which barrier implementation a [`crate::Team`] should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// Spinning sense-reversing barrier (default).
+    #[default]
+    Sense,
+    /// Sleeping mutex/condvar barrier.
+    Blocking,
+}
+
+impl BarrierKind {
+    /// Construct a barrier of this kind for `n` threads.
+    pub fn build(self, n: usize) -> Box<dyn Barrier> {
+        match self {
+            BarrierKind::Sense => Box::new(SenseBarrier::new(n)),
+            BarrierKind::Blocking => Box::new(BlockingBarrier::new(n)),
+        }
+    }
+}
+
+/// Centralized sense-reversing (generation-counting) spin barrier.
+pub struct SenseBarrier {
+    n: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SenseBarrier {
+    /// Barrier for `n` threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one member");
+        Self {
+            n,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Phases completed so far (diagnostic).
+    pub fn generation(&self) -> usize {
+        self.generation.load(Ordering::Relaxed)
+    }
+}
+
+impl Barrier for SenseBarrier {
+    fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let pos = self.arrived.fetch_add(1, Ordering::AcqRel);
+        if pos + 1 == self.n {
+            // Last arriver: reset the counter and release the phase.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            let mut tries = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                backoff(tries);
+                tries = tries.saturating_add(1);
+            }
+            false
+        }
+    }
+
+    fn members(&self) -> usize {
+        self.n
+    }
+}
+
+/// Mutex + condvar blocking barrier.
+pub struct BlockingBarrier {
+    n: usize,
+    state: Mutex<BlockingState>,
+    cv: Condvar,
+}
+
+struct BlockingState {
+    arrived: usize,
+    generation: usize,
+}
+
+impl BlockingBarrier {
+    /// Barrier for `n` threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one member");
+        Self {
+            n,
+            state: Mutex::new(BlockingState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl Barrier for BlockingBarrier {
+    fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+
+    fn members(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn exercise(barrier: Arc<dyn Barrier>, threads: usize, phases: usize) {
+        // Invariant: within each phase, no thread observes a phase counter
+        // ahead of its own until everyone has arrived.
+        let phase_done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let barrier = Arc::clone(&barrier);
+                let phase_done = Arc::clone(&phase_done);
+                s.spawn(move || {
+                    for p in 0..phases {
+                        // Every thread contributes once per phase.
+                        phase_done.fetch_add(1, Ordering::SeqCst);
+                        barrier.wait();
+                        // After the barrier, all contributions of this phase
+                        // must be visible.
+                        let seen = phase_done.load(Ordering::SeqCst);
+                        assert!(
+                            seen >= (p + 1) * threads,
+                            "phase {p}: saw {seen} < {}",
+                            (p + 1) * threads
+                        );
+                        barrier.wait(); // phase separator
+                    }
+                });
+            }
+        });
+        assert_eq!(phase_done.load(Ordering::SeqCst), threads * phases);
+    }
+
+    #[test]
+    fn sense_barrier_phases() {
+        exercise(Arc::new(SenseBarrier::new(4)), 4, 25);
+    }
+
+    #[test]
+    fn blocking_barrier_phases() {
+        exercise(Arc::new(BlockingBarrier::new(4)), 4, 25);
+    }
+
+    #[test]
+    fn single_member_barrier_never_blocks() {
+        let b = SenseBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait(), "sole member is always the leader");
+        }
+        assert_eq!(b.generation(), 10);
+        let b = BlockingBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn exactly_one_leader_per_phase() {
+        for kind in [BarrierKind::Sense, BarrierKind::Blocking] {
+            let barrier: Arc<dyn Barrier> = kind.build(5).into();
+            let leaders = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for _ in 0..5 {
+                    let barrier = Arc::clone(&barrier);
+                    let leaders = Arc::clone(&leaders);
+                    s.spawn(move || {
+                        for _ in 0..20 {
+                            if barrier.wait() {
+                                leaders.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(leaders.load(Ordering::SeqCst), 20, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_member_barrier_rejected() {
+        SenseBarrier::new(0);
+    }
+
+    #[test]
+    fn kind_builds_right_member_count() {
+        assert_eq!(BarrierKind::Sense.build(3).members(), 3);
+        assert_eq!(BarrierKind::Blocking.build(7).members(), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shared counters: a correct atomic counter and a deliberately *racy*
+//! counter used to demonstrate lost updates.
+//!
+//! The race-condition patternlet (§III-A of the paper, Figure 1's module
+//! section 2.3) has students run a shared `counter++` from many threads
+//! and watch updates disappear. In safe Rust an actual data race is
+//! unrepresentable, so [`AtomicCounter::add_racy`] reproduces the *failure
+//! mode* instead of the UB: it performs the load and the store as two
+//! separate atomic operations with a scheduler yield in between, which is
+//! precisely the non-atomic read-modify-write interleaving that loses
+//! updates — observable even on a single-core host.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared integer counter with both correct and intentionally racy
+/// update paths.
+#[derive(Debug, Default)]
+pub struct AtomicCounter {
+    value: AtomicU64,
+}
+
+impl AtomicCounter {
+    /// Create a counter starting at `value`.
+    pub fn new(value: u64) -> Self {
+        Self {
+            value: AtomicU64::new(value),
+        }
+    }
+
+    /// Correct atomic increment (`#pragma omp atomic`).
+    pub fn add(&self, delta: u64) -> u64 {
+        self.value.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// **Deliberately racy** increment: read, yield, write. Two threads
+    /// interleaving here both read the same old value and one update is
+    /// lost — the classic race-condition demonstration.
+    pub fn add_racy(&self, delta: u64) {
+        let read = self.value.load(Ordering::Relaxed);
+        // Hand the scheduler a chance to interleave another thread's
+        // read-modify-write between our read and our write. This makes the
+        // lost-update window reliably observable even on one core.
+        std::thread::yield_now();
+        self.value.store(read + delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn atomic_add_is_exact() {
+        const THREADS: usize = 8;
+        const PER: u64 = 5_000;
+        let c = Arc::new(AtomicCounter::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), THREADS as u64 * PER);
+    }
+
+    #[test]
+    fn racy_add_loses_updates() {
+        const THREADS: usize = 8;
+        const PER: u64 = 5_000;
+        let c = Arc::new(AtomicCounter::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        c.add_racy(1);
+                    }
+                });
+            }
+        });
+        let expected = THREADS as u64 * PER;
+        // The racy path can never exceed the true count, and with a forced
+        // yield inside the window it essentially always undercounts.
+        assert!(c.get() <= expected);
+        assert!(
+            c.get() < expected,
+            "racy counter hit the exact total ({expected}); the lost-update \
+             window did not interleave — rerun or raise PER"
+        );
+    }
+
+    #[test]
+    fn reset_and_get() {
+        let c = AtomicCounter::new(7);
+        assert_eq!(c.get(), 7);
+        c.add(3);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn add_returns_previous() {
+        let c = AtomicCounter::new(5);
+        assert_eq!(c.add(10), 5);
+        assert_eq!(c.get(), 15);
+    }
+}

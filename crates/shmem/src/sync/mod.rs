@@ -1,0 +1,36 @@
+//! Hand-built synchronization primitives.
+//!
+//! Built from `std::sync::atomic` in the style of *Rust Atomics and Locks*:
+//! no OS mutexes in the fast path, and every spin loop yields so the
+//! primitives stay live on oversubscribed (or single-core) hosts.
+
+mod atomicf64;
+mod barrier;
+mod counter;
+mod rwlock;
+mod spinlock;
+mod ticket;
+
+pub use atomicf64::AtomicF64;
+pub use barrier::{Barrier, BarrierKind, BlockingBarrier, SenseBarrier};
+pub use counter::AtomicCounter;
+pub use rwlock::{ReadGuard, RwSpinLock, WriteGuard};
+pub use spinlock::{SpinLock, SpinLockGuard};
+pub use ticket::{TicketLock, TicketLockGuard};
+
+/// Spin-wait backoff: spin briefly, then yield to the scheduler.
+///
+/// `iteration` is the caller's current retry count; the first few retries
+/// use the CPU `pause` hint, later ones yield the time slice so waiting
+/// threads never starve the thread they are waiting on (essential on a
+/// single-core host, where pure spinning would livelock).
+#[inline]
+pub fn backoff(iteration: u32) {
+    if iteration < 8 {
+        for _ in 0..(1 << iteration.min(6)) {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::yield_now();
+    }
+}

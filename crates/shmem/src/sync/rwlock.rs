@@ -1,0 +1,241 @@
+//! A reader-writer spinlock built from one atomic word.
+//!
+//! The classic single-word design from *Rust Atomics and Locks* ch. 8/9:
+//! the word counts active readers, with `usize::MAX` marking an active
+//! writer. Readers share; writers exclude everyone. Used by the
+//! courseware's shared read-mostly state (e.g. the patternlet registry
+//! view a team of threads consults while one thread edits scores) and as
+//! another rung in the synchronization-primitive teaching ladder.
+//!
+//! Writer acquisition is *opportunistic* (no queue), so a continuous
+//! stream of readers can starve a writer; the doc-tests and unit tests
+//! pin the guarantees that do hold (mutual exclusion, shared reads).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use super::backoff;
+
+const WRITER: usize = usize::MAX;
+
+/// A reader-writer spinlock protecting a value of type `T`.
+pub struct RwSpinLock<T> {
+    state: AtomicUsize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the protocol hands out either many shared refs or one
+// exclusive ref, never both.
+unsafe impl<T: Send + Sync> Sync for RwSpinLock<T> {}
+unsafe impl<T: Send> Send for RwSpinLock<T> {}
+
+impl<T> RwSpinLock<T> {
+    /// Unlocked lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            state: AtomicUsize::new(0),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire a shared (read) guard; many may coexist.
+    pub fn read(&self) -> ReadGuard<'_, T> {
+        let mut tries = 0u32;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s != WRITER
+                && s < WRITER - 1
+                && self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return ReadGuard { lock: self };
+            }
+            backoff(tries);
+            tries = tries.saturating_add(1);
+        }
+    }
+
+    /// Acquire the exclusive (write) guard.
+    pub fn write(&self) -> WriteGuard<'_, T> {
+        let mut tries = 0u32;
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return WriteGuard { lock: self };
+            }
+            backoff(tries);
+            tries = tries.saturating_add(1);
+        }
+    }
+
+    /// Try to acquire the write guard without waiting.
+    pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| WriteGuard { lock: self })
+    }
+
+    /// Number of active readers (0 if a writer holds it); diagnostic.
+    pub fn readers(&self) -> usize {
+        match self.state.load(Ordering::Relaxed) {
+            WRITER => 0,
+            n => n,
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// Shared guard.
+pub struct ReadGuard<'a, T> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T> Deref for ReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: readers hold state > 0, excluding writers.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for ReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive guard.
+pub struct WriteGuard<'a, T> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T> Deref for WriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the writer holds exclusive access.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for WriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the writer holds exclusive access.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for WriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_then_write_then_read() {
+        let lock = RwSpinLock::new(10);
+        assert_eq!(*lock.read(), 10);
+        *lock.write() += 5;
+        assert_eq!(*lock.read(), 15);
+    }
+
+    #[test]
+    fn many_concurrent_readers() {
+        let lock = RwSpinLock::new(7u64);
+        let g1 = lock.read();
+        let g2 = lock.read();
+        let g3 = lock.read();
+        assert_eq!((*g1, *g2, *g3), (7, 7, 7));
+        assert_eq!(lock.readers(), 3);
+        drop((g1, g2, g3));
+        assert_eq!(lock.readers(), 0);
+    }
+
+    #[test]
+    fn writer_excludes_writer() {
+        let lock = RwSpinLock::new(());
+        let g = lock.write();
+        assert!(lock.try_write().is_none());
+        drop(g);
+        assert!(lock.try_write().is_some());
+    }
+
+    #[test]
+    fn reader_blocks_writer_until_released() {
+        let lock = RwSpinLock::new(());
+        let r = lock.read();
+        assert!(lock.try_write().is_none(), "reader must block writer");
+        drop(r);
+        assert!(lock.try_write().is_some());
+    }
+
+    #[test]
+    fn concurrent_increments_via_write_are_exact() {
+        const THREADS: usize = 6;
+        const PER: usize = 1_000;
+        let lock = Arc::new(RwSpinLock::new(0usize));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        *lock.write() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.read(), THREADS * PER);
+    }
+
+    #[test]
+    fn mixed_readers_and_writers_stay_consistent() {
+        // Writers keep an invariant (two fields always equal); readers
+        // must never observe it broken.
+        let lock = Arc::new(RwSpinLock::new((0usize, 0usize)));
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..500 {
+                        let mut g = lock.write();
+                        g.0 += 1;
+                        std::hint::black_box(&g);
+                        g.1 += 1;
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..2_000 {
+                        let g = lock.read();
+                        assert_eq!(g.0, g.1, "readers saw a torn invariant");
+                    }
+                });
+            }
+        });
+        let g = lock.read();
+        assert_eq!(g.0, 1_000);
+    }
+
+    #[test]
+    fn into_inner() {
+        let lock = RwSpinLock::new(String::from("x"));
+        assert_eq!(lock.into_inner(), "x");
+    }
+}

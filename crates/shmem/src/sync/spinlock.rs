@@ -1,0 +1,164 @@
+//! A test-and-test-and-set spin lock with RAII guard.
+//!
+//! This is the `omp_lock_t` analog: the patternlets use it to protect a
+//! shared accumulator once the race-condition patternlet has shown why
+//! protection is needed. The implementation follows the `SpinLock` of
+//! *Rust Atomics and Locks* ch. 4 (acquire/release orderings, `UnsafeCell`
+//! payload, guard-based unlock) plus a yielding backoff.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use super::backoff;
+
+/// A mutual-exclusion spin lock protecting a value of type `T`.
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to the inner value, so it is
+// Sync whenever T may be sent between threads.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Create an unlocked lock holding `value`.
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, spinning (with yielding backoff) until available.
+    pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        let mut tries = 0u32;
+        loop {
+            // Test-and-test-and-set: only attempt the RMW when the lock
+            // looks free, keeping the cache line shared while we wait.
+            if !self.locked.load(Ordering::Relaxed)
+                && self
+                    .locked
+                    .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return SpinLockGuard { lock: self };
+            }
+            backoff(tries);
+            tries = tries.saturating_add(1);
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    /// Get mutable access without locking (requires `&mut self`, so the
+    /// borrow checker already guarantees exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+/// RAII guard; releases the lock on drop.
+pub struct SpinLockGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means we hold the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinLockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: holding the guard means we hold the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinLockGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_mutation() {
+        let lock = SpinLock::new(0);
+        *lock.lock() += 41;
+        *lock.lock() += 1;
+        assert_eq!(*lock.lock(), 42);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let lock = SpinLock::new(());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut lock = SpinLock::new(String::from("a"));
+        lock.get_mut().push('b');
+        assert_eq!(lock.into_inner(), "ab");
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        const THREADS: usize = 8;
+        const PER: usize = 2_000;
+        let lock = Arc::new(SpinLock::new(0usize));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let lock = Arc::clone(&lock);
+                s.spawn(move || {
+                    for _ in 0..PER {
+                        *lock.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*lock.lock(), THREADS * PER);
+    }
+
+    #[test]
+    fn guard_releases_on_panic() {
+        let lock = Arc::new(SpinLock::new(0));
+        let l2 = Arc::clone(&lock);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.lock();
+            panic!("poison-free by design");
+        })
+        .join();
+        // The guard's Drop ran during unwinding, so we can lock again.
+        assert_eq!(*lock.lock(), 0);
+    }
+}

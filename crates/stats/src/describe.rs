@@ -1,0 +1,199 @@
+//! Descriptive statistics over `f64` samples.
+//!
+//! Used to summarize Likert response vectors (Table II session-usefulness
+//! means) and benchmark timing samples (the module-A benchmarking study).
+
+use crate::{Result, StatsError};
+
+/// A bundle of descriptive statistics for one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Describe {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n-1) sample variance. `0.0` when `n == 1`.
+    pub variance: f64,
+    /// Sample standard deviation (`variance.sqrt()`).
+    pub std_dev: f64,
+    /// Standard error of the mean (`std_dev / sqrt(n)`).
+    pub std_err: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (average of the middle two for even `n`).
+    pub median: f64,
+}
+
+/// Compute the arithmetic mean of a non-empty slice.
+///
+/// Uses a streaming (Welford-style) update so very long samples do not lose
+/// precision to a growing partial sum.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let mut m = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        m += (x - m) / (i as f64 + 1.0);
+    }
+    Ok(m)
+}
+
+/// Unbiased sample variance via Welford's online algorithm.
+///
+/// Returns `0.0` for a single observation (consistent with treating one
+/// point as having no measured spread) and an error for an empty sample.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    if xs.len() == 1 {
+        return Ok(0.0);
+    }
+    let mut m = 0.0f64;
+    let mut m2 = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - m;
+        m += delta / (i as f64 + 1.0);
+        m2 += delta * (x - m);
+    }
+    Ok(m2 / (xs.len() as f64 - 1.0))
+}
+
+/// Median of a sample (allocates a sorted copy).
+pub fn median(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = v.len();
+    Ok(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Compute the full descriptive bundle for a sample.
+pub fn describe(xs: &[f64]) -> Result<Describe> {
+    let n = xs.len();
+    let mean = mean(xs)?;
+    let variance = variance(xs)?;
+    let std_dev = variance.sqrt();
+    let std_err = if n > 0 {
+        std_dev / (n as f64).sqrt()
+    } else {
+        0.0
+    };
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let median = median(xs)?;
+    Ok(Describe {
+        n,
+        mean,
+        variance,
+        std_dev,
+        std_err,
+        min,
+        max,
+        median,
+    })
+}
+
+/// Round to a number of decimal places (used when checking reconstructed
+/// survey vectors against the paper's 2-decimal published means).
+pub fn round_to(x: f64, places: u32) -> f64 {
+    let p = 10f64.powi(places as i32);
+    (x * p).round() / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[4.0, 4.0, 4.0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn mean_empty_errors() {
+        assert!(matches!(
+            mean(&[]),
+            Err(StatsError::TooFewSamples { needed: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn mean_matches_naive_sum() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean(&xs).unwrap() - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // Sample variance of [2,4,4,4,5,5,7,9] is 4.571428...
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_single_point_is_zero() {
+        assert_eq!(variance(&[3.3]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn describe_bundle_consistency() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = describe(&xs).unwrap();
+        assert_eq!(d.n, 5);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.median, 3.0);
+        assert!((d.variance - 2.5).abs() < 1e-12);
+        assert!((d.std_err - (2.5f64.sqrt() / 5f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_style_likert_mean() {
+        // 22 responses whose mean rounds to 4.55, like the paper's
+        // OpenMP-on-Pi usefulness rating: 13 fives + 8 fours + 1 three.
+        let xs: Vec<f64> = std::iter::repeat_n(5.0, 13)
+            .chain(std::iter::repeat_n(4.0, 8))
+            .chain(std::iter::repeat_n(3.0, 1))
+            .collect();
+        assert_eq!(xs.len(), 22);
+        assert_eq!(round_to(mean(&xs).unwrap(), 2), 4.55);
+    }
+
+    #[test]
+    fn round_to_places() {
+        assert_eq!(round_to(2.8181818, 2), 2.82);
+        assert_eq!(round_to(3.59090909, 2), 3.59);
+    }
+
+    #[test]
+    fn mean_is_translation_invariant() {
+        let xs = [1.0, 2.0, 3.0];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 100.0).collect();
+        assert!((mean(&shifted).unwrap() - (mean(&xs).unwrap() + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant() {
+        let xs = [1.0, 5.0, 9.0, 2.0];
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1e6).collect();
+        assert!((variance(&shifted).unwrap() - variance(&xs).unwrap()).abs() < 1e-6);
+    }
+}

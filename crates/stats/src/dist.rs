@@ -1,0 +1,218 @@
+//! Probability distributions built on the special functions in
+//! [`crate::special`].
+//!
+//! Only what the paper's statistics need: the Student-*t* distribution
+//! (paired t-tests in Figures 3 and 4) and the standard normal (used as a
+//! large-ν cross-check and by the assessment fixtures).
+
+use crate::special::{erf, inc_beta};
+use crate::{Result, StatsError};
+
+/// Student's *t* distribution with `nu` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Create a Student-*t* distribution; `nu` must be positive.
+    pub fn new(nu: f64) -> Result<Self> {
+        if nu.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Err(StatsError::InvalidParameter(
+                "degrees of freedom must be > 0",
+            ));
+        }
+        Ok(Self { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn nu(&self) -> f64 {
+        self.nu
+    }
+
+    /// Cumulative distribution function `P(T <= t)`.
+    ///
+    /// Uses the incomplete-beta identity
+    /// `P(T <= t) = 1 - ½ I_{ν/(ν+t²)}(ν/2, ½)` for `t >= 0` and symmetry
+    /// for `t < 0`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t == 0.0 {
+            return 0.5;
+        }
+        let x = self.nu / (self.nu + t * t);
+        let half_tail = 0.5 * inc_beta(self.nu / 2.0, 0.5, x);
+        if t > 0.0 {
+            1.0 - half_tail
+        } else {
+            half_tail
+        }
+    }
+
+    /// Survival function `P(T > t)`.
+    pub fn sf(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Two-sided p-value `P(|T| >= |t|)`.
+    pub fn p_two_sided(&self, t: f64) -> f64 {
+        let x = self.nu / (self.nu + t * t);
+        inc_beta(self.nu / 2.0, 0.5, x)
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, t: f64) -> f64 {
+        use crate::special::ln_gamma;
+        let nu = self.nu;
+        let ln_c = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_c - (nu + 1.0) / 2.0 * (1.0 + t * t / nu).ln()).exp()
+    }
+
+    /// Inverse CDF (quantile) by bisection on the monotone CDF.
+    ///
+    /// Accuracy ~1e-10 in `t`; used for critical-value tables in the
+    /// courseware and for confidence intervals.
+    pub fn inv_cdf(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidParameter("p must be in [0,1]"));
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        let (mut lo, mut hi) = (-1e6, 1e6);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+/// Standard normal distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdNormal;
+
+impl StdNormal {
+    /// CDF `Φ(x)` via the error function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+    }
+
+    /// Two-sided tail probability `P(|Z| >= |x|)`.
+    pub fn p_two_sided(&self, x: f64) -> f64 {
+        2.0 * (1.0 - self.cdf(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_midpoint() {
+        let t = StudentT::new(7.0).unwrap();
+        close(t.cdf(0.0), 0.5, 1e-15);
+        for &x in &[0.3, 1.0, 2.5, 10.0] {
+            close(t.cdf(x) + t.cdf(-x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_nu1_is_cauchy() {
+        // For ν=1 the t-distribution is Cauchy: F(t) = 1/2 + atan(t)/π.
+        let t = StudentT::new(1.0).unwrap();
+        for &x in &[-3.0, -1.0, 0.5, 2.0, 8.0] {
+            close(t.cdf(x), 0.5 + x.atan() / std::f64::consts::PI, 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_cdf_nu2_closed_form() {
+        // For ν=2: F(t) = 1/2 + t / (2 sqrt(2 + t^2)).
+        let t = StudentT::new(2.0).unwrap();
+        for &x in &[-5.0, -0.7, 0.0, 1.3, 4.0] {
+            close(t.cdf(x), 0.5 + x / (2.0 * (2.0 + x * x).sqrt()), 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_critical_values_match_tables() {
+        // Standard two-sided 95% critical values.
+        let cases = [
+            (1.0, 12.706),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (21.0, 2.080),
+            (30.0, 2.042),
+        ];
+        for &(nu, crit) in &cases {
+            let d = StudentT::new(nu).unwrap();
+            close(d.p_two_sided(crit), 0.05, 2e-4);
+        }
+    }
+
+    #[test]
+    fn t_inv_cdf_round_trips() {
+        let d = StudentT::new(21.0).unwrap();
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.975, 0.999] {
+            let t = d.inv_cdf(p).unwrap();
+            // 1e-6 tolerance: near t = 0 the map t → ν/(ν+t²) quantizes at
+            // |t| ≈ √(ν·ε), bounding achievable round-trip accuracy.
+            close(d.cdf(t), p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn t_pdf_integrates_to_cdf() {
+        // Trapezoid-integrate the pdf and compare against the cdf.
+        let d = StudentT::new(9.0).unwrap();
+        let (a, b) = (-6.0, 1.5);
+        let n = 20_000;
+        let h = (b - a) / n as f64;
+        let mut area = 0.5 * (d.pdf(a) + d.pdf(b));
+        for i in 1..n {
+            area += d.pdf(a + i as f64 * h);
+        }
+        area *= h;
+        close(area, d.cdf(b) - d.cdf(a), 1e-6);
+    }
+
+    #[test]
+    fn t_large_nu_approaches_normal() {
+        let d = StudentT::new(10_000.0).unwrap();
+        let n = StdNormal;
+        for &x in &[-2.0, -0.5, 0.8, 1.96] {
+            close(d.cdf(x), n.cdf(x), 1e-3);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        let n = StdNormal;
+        close(n.cdf(0.0), 0.5, 1e-12);
+        close(n.cdf(1.96), 0.975, 1e-4);
+        close(n.p_two_sided(1.96), 0.05, 2e-4);
+    }
+
+    #[test]
+    fn invalid_nu_rejected() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+        assert!(StudentT::new(f64::NAN).is_err());
+    }
+}

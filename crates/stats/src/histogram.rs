@@ -1,0 +1,228 @@
+//! Integer-binned histograms and terminal rendering.
+//!
+//! Figures 3 and 4 of the paper are grouped pre/post bar charts over the
+//! five Likert categories ("not at all" … "extremely"/"very much"). The
+//! [`LikertHistogram`] type models exactly that shape, and
+//! [`LikertHistogram::render_grouped`] regenerates the figure as ASCII art
+//! in the `reproduce` binary.
+
+use crate::{Result, StatsError};
+
+/// A histogram over consecutive integer bins `lo..=hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    lo: i64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Create an empty histogram covering the inclusive range `lo..=hi`.
+    pub fn new(lo: i64, hi: i64) -> Result<Self> {
+        if hi < lo {
+            return Err(StatsError::InvalidParameter("histogram hi < lo"));
+        }
+        Ok(Self {
+            lo,
+            counts: vec![0; (hi - lo + 1) as usize],
+        })
+    }
+
+    /// Build a histogram from integer samples, sized to `lo..=hi`.
+    /// Out-of-range samples are an error (Likert data must stay in scale).
+    pub fn from_samples(lo: i64, hi: i64, samples: &[i64]) -> Result<Self> {
+        let mut h = Self::new(lo, hi)?;
+        for &s in samples {
+            h.add(s)?;
+        }
+        Ok(h)
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, value: i64) -> Result<()> {
+        let idx = value - self.lo;
+        if idx < 0 || idx as usize >= self.counts.len() {
+            return Err(StatsError::InvalidParameter(
+                "sample outside histogram range",
+            ));
+        }
+        self.counts[idx as usize] += 1;
+        Ok(())
+    }
+
+    /// Count in the bin for `value`, or `None` when out of range.
+    pub fn count(&self, value: i64) -> Option<usize> {
+        let idx = value - self.lo;
+        if idx < 0 || idx as usize >= self.counts.len() {
+            None
+        } else {
+            Some(self.counts[idx as usize])
+        }
+    }
+
+    /// All bin counts in ascending bin order.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Mean of the recorded integer observations.
+    pub fn mean(&self) -> Result<f64> {
+        let total = self.total();
+        if total == 0 {
+            return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + i as i64) as f64 * c as f64)
+            .sum();
+        Ok(sum / total as f64)
+    }
+
+    /// Expand the histogram back into a sorted sample vector.
+    pub fn to_samples(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.total());
+        for (i, &c) in self.counts.iter().enumerate() {
+            out.extend(std::iter::repeat_n(self.lo + i as i64, c));
+        }
+        out
+    }
+}
+
+/// A pre/post pair of 5-point Likert histograms with category labels,
+/// mirroring the grouped bar charts of Figures 3 and 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LikertHistogram {
+    /// Category labels, lowest (1) to highest (5).
+    pub labels: [&'static str; 5],
+    /// Pre-survey histogram over 1..=5.
+    pub pre: Histogram,
+    /// Post-survey histogram over 1..=5.
+    pub post: Histogram,
+}
+
+impl LikertHistogram {
+    /// Build from raw 1..=5 response vectors.
+    pub fn from_responses(labels: [&'static str; 5], pre: &[i64], post: &[i64]) -> Result<Self> {
+        Ok(Self {
+            labels,
+            pre: Histogram::from_samples(1, 5, pre)?,
+            post: Histogram::from_samples(1, 5, post)?,
+        })
+    }
+
+    /// Render the grouped bar chart as ASCII, one category per row:
+    ///
+    /// ```text
+    /// moderately   pre  ########## 10
+    ///              post ######        6
+    /// ```
+    pub fn render_grouped(&self) -> String {
+        let width = self.labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, label) in self.labels.iter().enumerate() {
+            let bin = (i + 1) as i64;
+            let p = self.pre.count(bin).unwrap_or(0);
+            let q = self.post.count(bin).unwrap_or(0);
+            out.push_str(&format!(
+                "{label:<width$}  pre  {} {p}\n",
+                "#".repeat(p),
+                label = label,
+                width = width
+            ));
+            out.push_str(&format!(
+                "{blank:<width$}  post {} {q}\n",
+                "#".repeat(q),
+                blank = "",
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted_range() {
+        assert!(Histogram::new(5, 1).is_err());
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut h = Histogram::new(1, 5).unwrap();
+        h.add(3).unwrap();
+        h.add(3).unwrap();
+        h.add(5).unwrap();
+        assert_eq!(h.count(3), Some(2));
+        assert_eq!(h.count(5), Some(1));
+        assert_eq!(h.count(1), Some(0));
+        assert_eq!(h.count(6), None);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn add_out_of_range_errors() {
+        let mut h = Histogram::new(1, 5).unwrap();
+        assert!(h.add(0).is_err());
+        assert!(h.add(6).is_err());
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn from_samples_and_mean() {
+        let h = Histogram::from_samples(1, 5, &[2, 2, 3, 5]).unwrap();
+        assert!((h.mean().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_errors() {
+        let h = Histogram::new(1, 5).unwrap();
+        assert!(h.mean().is_err());
+    }
+
+    #[test]
+    fn to_samples_round_trips() {
+        let samples = vec![1, 1, 2, 4, 4, 4, 5];
+        let h = Histogram::from_samples(1, 5, &samples).unwrap();
+        assert_eq!(h.to_samples(), samples);
+    }
+
+    #[test]
+    fn likert_render_contains_counts() {
+        let lh = LikertHistogram::from_responses(
+            ["not at all", "slightly", "moderately", "very", "extremely"],
+            &[1, 2, 2, 3],
+            &[3, 4, 4, 5],
+        )
+        .unwrap();
+        let s = lh.render_grouped();
+        assert!(s.contains("not at all"));
+        assert!(s.contains("extremely"));
+        // Two pre-2s render as "##".
+        assert!(s.contains("## 2"));
+    }
+
+    #[test]
+    fn likert_totals_match_cohort() {
+        let pre = vec![2; 22];
+        let post = vec![4; 22];
+        let lh = LikertHistogram::from_responses(
+            ["not at all", "slightly", "moderately", "very", "extremely"],
+            &pre,
+            &post,
+        )
+        .unwrap();
+        assert_eq!(lh.pre.total(), 22);
+        assert_eq!(lh.post.total(), 22);
+        assert_eq!(lh.pre.count(2), Some(22));
+        assert_eq!(lh.post.count(4), Some(22));
+    }
+}

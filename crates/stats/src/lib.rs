@@ -1,0 +1,98 @@
+#![warn(missing_docs)]
+
+//! # pdc-stats
+//!
+//! A small, self-contained statistics library supporting the assessment
+//! machinery of the PDC remote-learning reproduction.
+//!
+//! The paper ("Teaching PDC in the Time of COVID", EduPar/IPDPSW 2021)
+//! evaluates its teaching modules with Likert-scale surveys summarized by
+//! means (Table II) and with paired Student's *t*-tests over pre/post
+//! responses (Figures 3 and 4, `p = 0.0004` and `p = 4.18e-08`). This crate
+//! provides everything needed to recompute those statistics from raw
+//! response vectors:
+//!
+//! * [`describe`] — descriptive statistics (mean, variance, standard error,
+//!   five-number summaries) over `f64` samples.
+//! * [`histogram`] — integer-binned histograms with labelled bins and an
+//!   ASCII bar renderer used to regenerate the figures in a terminal.
+//! * [`special`] — the special functions (log-gamma, regularized incomplete
+//!   beta) that underlie the Student-*t* distribution, implemented from
+//!   scratch (Lanczos approximation + Lentz continued fraction).
+//! * [`dist`] — probability distributions: Student-*t* and standard normal
+//!   CDFs built on [`special`].
+//! * [`ttest`] — one-sample, paired, and Welch two-sample *t*-tests with
+//!   two-sided p-values and Cohen's-*d* effect sizes.
+//!
+//! Everything is pure math over slices; no allocation beyond what the caller
+//! provides except in histogram rendering.
+//!
+//! ## Example: the paper's Figure 3 statistic
+//!
+//! ```
+//! use pdc_stats::ttest::paired_t_test;
+//!
+//! // Pre/post confidence on a 1-5 Likert scale (illustrative pairs).
+//! let pre = [2.0, 3.0, 2.0, 4.0, 3.0, 2.0, 3.0, 2.0];
+//! let post = [3.0, 4.0, 3.0, 4.0, 4.0, 3.0, 4.0, 3.0];
+//! let t = paired_t_test(&pre, &post).unwrap();
+//! assert!(t.p_two_sided < 0.01); // significant increase
+//! assert!(t.mean_diff > 0.0);
+//! ```
+
+pub mod bootstrap;
+pub mod describe;
+pub mod dist;
+pub mod histogram;
+pub mod nonparametric;
+pub mod special;
+pub mod ttest;
+
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use describe::{describe, Describe};
+pub use histogram::{Histogram, LikertHistogram};
+pub use nonparametric::{spearman, wilcoxon_signed_rank, WilcoxonResult};
+pub use ttest::{paired_t_test, welch_t_test, TTestResult};
+
+/// Error type for statistical routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input sample was empty or too short for the requested statistic.
+    TooFewSamples {
+        /// Minimum number of samples the routine needs.
+        needed: usize,
+        /// Number of samples actually supplied.
+        got: usize,
+    },
+    /// Two paired samples had different lengths.
+    LengthMismatch {
+        /// Length of the first sample.
+        left: usize,
+        /// Length of the second sample.
+        right: usize,
+    },
+    /// The statistic is undefined (e.g. zero variance in a t-test denominator).
+    Degenerate(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "too few samples: needed {needed}, got {got}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "paired samples differ in length: {left} vs {right}")
+            }
+            StatsError::Degenerate(what) => write!(f, "degenerate statistic: {what}"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,230 @@
+//! Nonparametric tests: Wilcoxon signed-rank and Spearman correlation.
+//!
+//! Likert responses are ordinal, so a careful analyst cross-checks the
+//! paper's paired t-tests (Figures 3–4) with the Wilcoxon signed-rank
+//! test; `pdc-assessment` does exactly that. Spearman correlation serves
+//! the courseware's "does confidence track preparedness?" follow-up.
+
+use crate::dist::StdNormal;
+use crate::{Result, StatsError};
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// The W statistic: the smaller of the positive/negative rank sums.
+    pub w: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+    /// Two-sided p-value (normal approximation with tie correction;
+    /// accurate for n ≳ 10, flagged `approximate`).
+    pub p_two_sided: f64,
+    /// Direction: positive when post > pre on balance.
+    pub rank_sum_diff: f64,
+}
+
+/// Wilcoxon signed-rank test on paired samples (two-sided, normal
+/// approximation with continuity and tie corrections).
+///
+/// Zero differences are dropped (Wilcoxon's original procedure); ties
+/// among |differences| get average ranks.
+pub fn wilcoxon_signed_rank(pre: &[f64], post: &[f64]) -> Result<WilcoxonResult> {
+    if pre.len() != post.len() {
+        return Err(StatsError::LengthMismatch {
+            left: pre.len(),
+            right: post.len(),
+        });
+    }
+    let mut diffs: Vec<f64> = post
+        .iter()
+        .zip(pre)
+        .map(|(b, a)| b - a)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: n });
+    }
+    // Rank |d| ascending with average ranks for ties.
+    diffs.sort_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("no NaN differences"));
+    let mut ranks = vec![0.0f64; n];
+    let mut tie_correction = 0.0f64;
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && diffs[j + 1].abs() == diffs[i].abs() {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for r in ranks.iter_mut().take(j + 1).skip(i) {
+            *r = avg_rank;
+        }
+        let t = (j - i + 1) as f64;
+        tie_correction += t * t * t - t;
+        i = j + 1;
+    }
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+    let total = n as f64 * (n as f64 + 1.0) / 2.0;
+    let w_minus = total - w_plus;
+    let w = w_plus.min(w_minus);
+
+    // Normal approximation.
+    let mean = total / 2.0;
+    let var = n as f64 * (n as f64 + 1.0) * (2.0 * n as f64 + 1.0) / 24.0 - tie_correction / 48.0;
+    if var <= 0.0 {
+        return Err(StatsError::Degenerate("all differences tied"));
+    }
+    // Continuity correction toward the mean.
+    let z = (w - mean + 0.5 * (mean - w).signum()) / var.sqrt();
+    let p = StdNormal.p_two_sided(z).min(1.0);
+    Ok(WilcoxonResult {
+        w,
+        n_used: n,
+        p_two_sided: p,
+        rank_sum_diff: w_plus - w_minus,
+    })
+}
+
+/// Spearman rank correlation coefficient (with average ranks for ties).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    let rx = rank_with_ties(x);
+    let ry = rank_with_ties(y);
+    // Pearson correlation of the ranks.
+    let mx = rx.iter().sum::<f64>() / rx.len() as f64;
+    let my = ry.iter().sum::<f64>() / ry.len() as f64;
+    let mut num = 0.0;
+    let mut dx2 = 0.0;
+    let mut dy2 = 0.0;
+    for (a, b) in rx.iter().zip(&ry) {
+        num += (a - mx) * (b - my);
+        dx2 += (a - mx) * (a - mx);
+        dy2 += (b - my) * (b - my);
+    }
+    if dx2 == 0.0 || dy2 == 0.0 {
+        return Err(StatsError::Degenerate("constant sample"));
+    }
+    Ok(num / (dx2 * dy2).sqrt())
+}
+
+/// Average ranks (1-based) with ties sharing their mean rank.
+fn rank_with_ties(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("no NaN"));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < xs.len() {
+        let mut j = i;
+        while j + 1 < xs.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilcoxon_detects_a_clear_shift() {
+        let pre = [2.0, 3.0, 2.0, 4.0, 3.0, 2.0, 3.0, 2.0, 3.0, 2.0, 3.0, 2.0];
+        let post = [3.0, 4.0, 3.0, 5.0, 4.0, 3.0, 4.0, 3.0, 4.0, 3.0, 4.0, 3.0];
+        let r = wilcoxon_signed_rank(&pre, &post).unwrap();
+        assert!(r.p_two_sided < 0.01, "p = {}", r.p_two_sided);
+        assert!(r.rank_sum_diff > 0.0);
+        assert_eq!(r.n_used, 12);
+    }
+
+    #[test]
+    fn wilcoxon_no_shift_is_insignificant() {
+        let pre = [1.0, 2.0, 3.0, 4.0, 5.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let post = [2.0, 1.0, 4.0, 3.0, 4.0, 2.0, 1.0, 4.0, 3.0, 6.0];
+        let r = wilcoxon_signed_rank(&pre, &post).unwrap();
+        assert!(r.p_two_sided > 0.3, "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn wilcoxon_drops_zero_differences() {
+        let pre = [1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0];
+        let post = [1.0, 3.0, 4.0, 2.0, 3.0, 4.0, 1.0];
+        let r = wilcoxon_signed_rank(&pre, &post).unwrap();
+        assert_eq!(r.n_used, 5);
+    }
+
+    #[test]
+    fn wilcoxon_symmetric_under_swap() {
+        let pre = [2.0, 3.0, 2.0, 4.0, 3.0, 2.0, 4.0, 5.0, 1.0, 2.0];
+        let post = [3.0, 4.0, 4.0, 4.5, 4.0, 3.0, 5.0, 5.5, 2.0, 4.0];
+        let a = wilcoxon_signed_rank(&pre, &post).unwrap();
+        let b = wilcoxon_signed_rank(&post, &pre).unwrap();
+        assert!((a.p_two_sided - b.p_two_sided).abs() < 1e-12);
+        assert_eq!(a.rank_sum_diff, -b.rank_sum_diff);
+    }
+
+    #[test]
+    fn wilcoxon_errors() {
+        assert!(matches!(
+            wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        // All zero differences → too few samples.
+        assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 20.0, 25.0, 40.0, 100.0]; // monotone, nonlinear
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_rev: Vec<f64> = y.iter().rev().cloned().collect();
+        assert!((spearman(&x, &y_rev).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_near_zero_for_designed_noise() {
+        // A fixed pattern with no monotone association.
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [5.0, 1.0, 7.0, 3.0, 8.0, 2.0, 6.0, 4.0];
+        let rho = spearman(&x, &y).unwrap();
+        assert!(rho.abs() < 0.5, "rho = {rho}");
+    }
+
+    #[test]
+    fn spearman_constant_errors() {
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn rank_with_ties_averages() {
+        let r = rank_with_ties(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

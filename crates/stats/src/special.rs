@@ -1,0 +1,240 @@
+//! Special functions implemented from scratch.
+//!
+//! The Student-*t* CDF — and hence every p-value in the paper's Figures 3
+//! and 4 — reduces to the regularized incomplete beta function
+//! `I_x(a, b)`, which in turn needs `ln Γ`. Both are implemented here:
+//! `ln Γ` with the Lanczos approximation (g = 7, n = 9 coefficients, the
+//! standard Godfrey/Pugh set, ~15 significant digits over the positive
+//! reals) and `I_x(a, b)` with the modified Lentz continued-fraction
+//! evaluation from Numerical Recipes, symmetrized for fast convergence.
+
+/// Lanczos coefficients (g = 7, 9 terms).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Accuracy is ~1e-13 relative over the range used by t-tests
+/// (half-integer and integer arguments up to a few hundred).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// The beta function `B(a, b) = Γ(a)Γ(b)/Γ(a+b)`, via logs.
+pub fn beta(a: f64, b: f64) -> f64 {
+    (ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)).exp()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `0 <= x <= 1`.
+///
+/// Uses the continued-fraction expansion with the symmetry relation
+/// `I_x(a,b) = 1 - I_{1-x}(b,a)` so the fraction always converges fast.
+pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "inc_beta requires a,b > 0");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "inc_beta requires 0<=x<=1, got {x}"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space.
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - (ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b));
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(a, b, x) / a
+    } else {
+        let ln_front_sym =
+            b * (1.0 - x).ln() + a * x.ln() - (ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b));
+        1.0 - ln_front_sym.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Modified Lentz evaluation of the incomplete-beta continued fraction.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function `erf(x)`, Abramowitz & Stegun 7.1.26 rational
+/// approximation (max absolute error < 1.5e-7 — ample for the
+/// normal-approximation sanity checks in the test-suite).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let ax = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * ax);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let y = (1.0 - poly * (-ax * ax).exp()).min(1.0);
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0f64, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (i, &f) in facts.iter().enumerate() {
+            close(ln_gamma((i + 1) as f64), f.ln(), 1e-11);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2, Γ(5/2) = 3√π/4
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        close(ln_gamma(0.5), sqrt_pi.ln(), 1e-12);
+        close(ln_gamma(1.5), (sqrt_pi / 2.0).ln(), 1e-12);
+        close(ln_gamma(2.5), (3.0 * sqrt_pi / 4.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // Γ(101) = 100! ; ln(100!) = 363.73937555556...
+        close(ln_gamma(101.0), 363.739_375_555_563_49, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ln_gamma requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn beta_known_values() {
+        // B(1,1)=1, B(2,3)=1/12, B(0.5,0.5)=π
+        close(beta(1.0, 1.0), 1.0, 1e-12);
+        close(beta(2.0, 3.0), 1.0 / 12.0, 1e-12);
+        close(beta(0.5, 0.5), std::f64::consts::PI, 1e-10);
+    }
+
+    #[test]
+    fn inc_beta_boundaries() {
+        assert_eq!(inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inc_beta_uniform_case() {
+        // I_x(1,1) = x (Beta(1,1) is the uniform distribution).
+        for &x in &[0.1, 0.25, 0.5, 0.77, 0.99] {
+            close(inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.5, 4.0, 0.3), (11.0, 0.5, 0.9), (0.5, 0.5, 0.2)] {
+            close(inc_beta(a, b, x), 1.0 - inc_beta(b, a, 1.0 - x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_binomial_identity() {
+        // For integer a,b: I_x(a, b) = P(Bin(a+b-1, x) >= a).
+        // a=3, b=2, x=0.4, n=4: P(X>=3) = C(4,3) .4^3 .6 + .4^4 = 0.1792
+        close(inc_beta(3.0, 2.0, 0.4), 0.1792, 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_monotone_in_x() {
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let v = inc_beta(3.5, 1.25, x);
+            assert!(v >= last - 1e-15, "not monotone at x={x}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(1.0), 0.842_700_792_949_714_9, 2e-7);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 2e-7);
+        close(erf(2.0), 0.995_322_265_018_952_7, 2e-7);
+    }
+}

@@ -1,0 +1,81 @@
+//! Build your own Raspberry Pi Beowulf cluster — the §II option for
+//! students who outgrow a single board: plan the bill of materials,
+//! provision every node, then run an MPI exemplar across "the cluster".
+//!
+//! ```text
+//! cargo run --example cluster_build
+//! ```
+
+use pdc_exemplars::forestfire::{run_mpc, FireConfig};
+use pdc_mpc::{dims_create, World};
+use pdc_pikit::ClusterPlan;
+use pdc_platform::{presets, ExecutionModel, Topology};
+
+fn main() {
+    // 1. Plan and cost a 4-node cluster.
+    let plan = ClusterPlan::new(4, "pi");
+    let bom = plan.bill_of_materials();
+    println!("== 1. Bill of materials ==\n{}", bom.render_table());
+
+    // 2. Provision every node.
+    println!("== 2. Provisioning ==");
+    let (devices, reports) = plan.provision();
+    for (d, r) in devices.iter().zip(&reports) {
+        println!(
+            "  {:<6} {} tasks, {} changed, {}",
+            d.hostname,
+            r.entries.len(),
+            r.changed(),
+            if r.success() { "ok" } else { "FAILED" }
+        );
+    }
+    assert!(plan.ready(&devices), "cluster must come up ready");
+    println!(
+        "cluster ready: {} nodes, {} cores total\n",
+        devices.len(),
+        plan.total_cores(&devices)
+    );
+
+    // 3. Lay ranks out on the cluster and run the forest fire across it.
+    let platform = presets::pi_beowulf(4);
+    let np = 8;
+    let topo = Topology::block(&platform, np, "pi");
+    println!("== 3. mpirun -np {np} across the cluster ==");
+    println!("rank → host: {:?}", topo.hostnames());
+    let config = FireConfig {
+        size: 21,
+        trials: 8,
+        ..Default::default()
+    };
+    let hosts = World::new(np)
+        .with_hostnames(topo.hostnames())
+        .run(|comm| format!("rank {} on {}", comm.rank(), comm.processor_name()));
+    for h in &hosts {
+        println!("  {h}");
+    }
+    let series = run_mpc(&config, np);
+    println!(
+        "forest fire sweep across {} probabilities completed; p=1.0 burns {:.1}%\n",
+        series.len(),
+        series.last().unwrap().avg_burned_pct
+    );
+
+    // 4. What the model says about scaling this cluster.
+    println!("== 4. Predicted scaling on the Pi Beowulf (slow Ethernet!) ==");
+    let wl =
+        ExecutionModel::new(0.05, 10.0).with_comm(100, 3_000, pdc_platform::model::CommShape::Halo);
+    println!("{:>4} | {:>8} | {:>10}", "p", "speedup", "efficiency");
+    for p in [1, 2, 4, 8, 16] {
+        let pr = platform.predict(&wl, p);
+        println!(
+            "{:>4} | {:>8.2} | {:>9.0}%",
+            p,
+            pr.speedup,
+            pr.efficiency * 100.0
+        );
+    }
+    println!(
+        "\n(compare a 2-D grid layout for halo workloads: dims_create(16, 2) = {:?})",
+        dims_create(16, 2)
+    );
+}

@@ -1,0 +1,77 @@
+//! Module B, end to end: hour 1 in "Colab", hour 2 on a "cluster".
+//!
+//! ```text
+//! cargo run --example distributed_module
+//! ```
+
+use pdc_core::module_b::{self, ExemplarPlatform};
+use pdc_core::study::{module_b_study, Scale};
+use pdc_exemplars::forestfire::{self, FireConfig};
+use pdc_mpc::World;
+
+fn main() {
+    // --- Hour 1: the mpi4py patternlets in the Colab notebook. ---------
+    println!("== 1. The Colab notebook (Figure 2's fragment) ==\n");
+    println!("{}", module_b::render_figure2());
+
+    println!("== 2. Run all: every mpirun cell at np=4 ==");
+    let nb = module_b::executed_notebook();
+    let mut cells_run = 0;
+    for cell in &nb.cells {
+        if let pdc_courseware::notebook::Cell::Code { source, outputs } = cell {
+            if source.starts_with("!mpirun") {
+                cells_run += 1;
+                println!("-- {source}");
+                for line in outputs.iter().take(3) {
+                    println!("   {line}");
+                }
+                if outputs.len() > 3 {
+                    println!("   … ({} more lines)", outputs.len() - 3);
+                }
+            }
+        }
+    }
+    println!("({cells_run} patternlet cells executed)\n");
+
+    // --- Hour 2: pick a platform, run an exemplar, see speedup. --------
+    println!("== 3. The exemplar session: forest fire on a chosen platform ==");
+    let config = FireConfig {
+        size: 21,
+        trials: 8,
+        ..Default::default()
+    };
+    for choice in [
+        ExemplarPlatform::Colab,
+        ExemplarPlatform::StOlafVm,
+        ExemplarPlatform::Chameleon,
+    ] {
+        let platform = choice.platform();
+        let topo = choice.topology(4);
+        // Actually run 4 ranks with that platform's hostnames.
+        let series = World::new(4).with_hostnames(topo.hostnames()).run(|comm| {
+            if comm.rank() == 0 {
+                Some(forestfire::run_seq(&config).len())
+            } else {
+                None
+            }
+        });
+        let _ = series;
+        println!(
+            "  {:<28} {} nodes × {} cores — hosts seen by ranks: {:?}",
+            platform.name,
+            platform.nodes,
+            platform.cores_per_node,
+            topo.hostnames()
+        );
+    }
+
+    println!("\n== 4. Scalability: measured on this host, predicted on the paper's platforms ==");
+    for study in module_b_study(Scale::Quick) {
+        println!("{}", study.render());
+    }
+    println!(
+        "The Colab column stays flat at 1.00 — \"Colab's single-core VMs prevent\n\
+         learners from experiencing parallel speedup\" — while the 64-core VM and\n\
+         the Chameleon cluster keep climbing: the paper's §III-B lesson."
+    );
+}

@@ -1,0 +1,60 @@
+//! Export the courseware artifacts to disk — the files an instructor
+//! would actually hand to students:
+//!
+//! * `artifacts/module_a.html` — the Runestone-style virtual handout.
+//! * `artifacts/mpi4py_patternlets.ipynb` — the executed Colab notebook,
+//!   loadable by Jupyter or uploadable to Colab.
+//! * `artifacts/mpi4py_patternlets.html` — the notebook rendered.
+//! * `artifacts/workshop_report.txt` — the §IV assessment report.
+//!
+//! ```text
+//! cargo run --example export_courseware
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use pdc_core::{module_a, module_b, Workshop};
+use pdc_courseware::html;
+use pdc_courseware::notebook::Notebook;
+
+fn main() -> std::io::Result<()> {
+    let dir = Path::new("artifacts");
+    fs::create_dir_all(dir)?;
+
+    // Module A as a standalone HTML page.
+    let module = module_a::module();
+    let page = html::module_page(&module);
+    fs::write(dir.join("module_a.html"), &page)?;
+    println!("wrote artifacts/module_a.html ({} bytes)", page.len());
+
+    // Module B as a real .ipynb (with outputs) and as HTML.
+    let nb = module_b::executed_notebook();
+    let ipynb = nb.to_ipynb();
+    fs::write(dir.join("mpi4py_patternlets.ipynb"), &ipynb)?;
+    println!(
+        "wrote artifacts/mpi4py_patternlets.ipynb ({} bytes)",
+        ipynb.len()
+    );
+    // Round-trip check: what we wrote re-imports identically.
+    let back = Notebook::from_ipynb(&ipynb).expect("own ipynb re-imports");
+    assert_eq!(back, nb, "ipynb round trip");
+
+    let nb_page = html::notebook_page(&nb);
+    fs::write(dir.join("mpi4py_patternlets.html"), &nb_page)?;
+    println!(
+        "wrote artifacts/mpi4py_patternlets.html ({} bytes)",
+        nb_page.len()
+    );
+
+    // The assessment report.
+    let report = Workshop::july_2020().render_report();
+    fs::write(dir.join("workshop_report.txt"), &report)?;
+    println!(
+        "wrote artifacts/workshop_report.txt ({} bytes)",
+        report.len()
+    );
+
+    println!("\nopen artifacts/module_a.html in a browser, or upload the .ipynb to Colab");
+    Ok(())
+}

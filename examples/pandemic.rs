@@ -1,0 +1,59 @@
+//! The pandemic exemplar: an agent-based SIR epidemic with the classic
+//! curve plotted in the terminal — the COVID-era extension exemplar.
+//!
+//! ```text
+//! cargo run --example pandemic
+//! ```
+
+use pdc_exemplars::pandemic::{run_mpc, run_seq, run_shmem, PandemicConfig};
+use pdc_shmem::Team;
+
+fn main() {
+    let config = PandemicConfig {
+        agents: 200,
+        world: 42.0,
+        days: 45,
+        infection_prob: 0.5,
+        ..Default::default()
+    };
+    println!(
+        "pandemic: {} agents in a {:.0}×{:.0} world, {} days, p(transmit) = {}, recovery {} days\n",
+        config.agents,
+        config.world,
+        config.world,
+        config.days,
+        config.infection_prob,
+        config.recovery_days
+    );
+
+    let seq = run_seq(&config);
+    assert_eq!(seq, run_shmem(&config, &Team::new(4)));
+    assert_eq!(seq, run_mpc(&config, 4));
+    println!("sequential, 4-thread, and 4-rank simulations agree exactly\n");
+
+    println!(
+        "{:>4} | {:>4} {:>4} {:>4} | curve (S=·, I=█, R=▒)",
+        "day", "S", "I", "R"
+    );
+    let scale = |n: usize| n * 50 / config.agents;
+    for d in seq.iter().step_by(3) {
+        let bar = format!(
+            "{}{}{}",
+            "▒".repeat(scale(d.r)),
+            "█".repeat(scale(d.i)),
+            "·".repeat(scale(d.s)),
+        );
+        println!("{:>4} | {:>4} {:>4} {:>4} | {bar}", d.day, d.s, d.i, d.r);
+    }
+
+    let peak = seq.iter().max_by_key(|d| d.i).unwrap();
+    let last = seq.last().unwrap();
+    println!(
+        "\npeak: {} infectious on day {}; final attack size {} of {} ({}%)",
+        peak.i,
+        peak.day,
+        last.r,
+        config.agents,
+        last.r * 100 / config.agents
+    );
+}

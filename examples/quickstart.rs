@@ -1,0 +1,53 @@
+//! Quickstart: a five-minute tour of the workspace.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pdc_exemplars::integration;
+use pdc_mpc::{ops, World};
+use pdc_patternlets::registry;
+use pdc_shmem::{parallel_reduce, Schedule, Team};
+
+fn main() {
+    // 1. Shared memory: the first OpenMP patternlet — SPMD hello.
+    println!("== shared memory: sm.spmd with 4 threads ==");
+    for line in registry::find("sm.spmd").unwrap().run(4).lines {
+        println!("  {line}");
+    }
+
+    // 2. Message passing: the Figure-2 patternlet — SPMD greetings.
+    println!("\n== message passing: mp.spmd with 4 processes ==");
+    for line in registry::find("mp.spmd").unwrap().run(4).lines {
+        println!("  {line}");
+    }
+
+    // 3. A real reduction: integrate 4/(1+x^2) over [0,1] → π.
+    println!("\n== parallel reduction: computing pi ==");
+    let team = Team::new(4);
+    let n = 1_000_000;
+    let h = 1.0 / n as f64;
+    let pi = parallel_reduce(
+        &team,
+        0..n,
+        Schedule::default(),
+        0.0,
+        |i| {
+            let x = (i as f64 + 0.5) * h;
+            4.0 / (1.0 + x * x) * h
+        },
+        |a, b| a + b,
+    );
+    println!("  midpoint rule, {n} samples: {pi:.10}");
+    let trap = integration::trapezoid_shmem(integration::pi_integrand, 0.0, 1.0, n, &team);
+    println!("  trapezoid rule, {n} trapezoids: {:.10}", trap.value);
+
+    // 4. A collective: allreduce across 8 ranks.
+    println!("\n== collective: allreduce(sum) over 8 ranks ==");
+    let sums = World::new(8).run(|comm| comm.allreduce(comm.rank() as u64, ops::sum).unwrap());
+    println!("  every rank computed: {}", sums[0]);
+
+    println!("\nNext: cargo run --example shared_memory_module");
+    println!("      cargo run --example distributed_module");
+    println!("      cargo run -p pdc-bench --bin reproduce");
+}

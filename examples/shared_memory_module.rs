@@ -1,0 +1,77 @@
+//! Module A, end to end: the learner's two hours, compressed.
+//!
+//! Walks the Runestone virtual handout the way a remote learner would:
+//! provision the Pi kit, read the module, run every patternlet, answer
+//! the Figure-1 question, and finish with the benchmarking study.
+//!
+//! ```text
+//! cargo run --example shared_memory_module
+//! ```
+
+use pdc_core::module_a;
+use pdc_core::study::{module_a_study, Scale};
+use pdc_courseware::module::Block;
+use pdc_courseware::{render, Gradebook};
+use pdc_patternlets::registry;
+use pdc_pikit::{Device, Playbook};
+
+fn main() {
+    // --- Before class: set up the mailed kit. -------------------------
+    println!("== 0. Kit setup (the chapter-1 videos, as a playbook) ==");
+    let mut pi = Device::kit_pi4();
+    let report = Playbook::kit_setup().run(&mut pi);
+    for (task, outcome) in &report.entries {
+        println!("  {task:<28} {outcome:?}");
+    }
+    assert!(pi.ready_for_module_a(), "kit must come up ready");
+
+    // --- The module. ---------------------------------------------------
+    let module = module_a::module();
+    println!(
+        "\n== 1. The virtual handout ==\n{}",
+        render::render_toc(&module)
+    );
+
+    println!("== 2. The Figure-1 section, as Runestone shows it ==");
+    println!("{}", module_a::render_figure1());
+
+    // A learner answers the race-condition question (wrong, then right).
+    let mut gradebook = Gradebook::new();
+    let section = module.section("2.3").expect("race-conditions section");
+    let activity = section
+        .blocks
+        .iter()
+        .find_map(|b| match b {
+            Block::Activity(a) => Some(a),
+            _ => None,
+        })
+        .expect("the MC question of Figure 1");
+    let first = gradebook.attempt_mc("learner", activity, 1);
+    println!("answer B → {}", first.feedback);
+    let second = gradebook.attempt_mc("learner", activity, 2);
+    println!("answer C → {}\n", second.feedback);
+
+    // --- The hands-on hour: run every linked patternlet at 4 threads. --
+    println!("== 3. Hands-on: the handout's patternlets on 4 threads ==");
+    for id in module.patternlet_ids() {
+        let p = registry::find(id).expect("linked patternlets exist");
+        let out = p.run(4);
+        println!("-- {} ({})", p.name, p.id);
+        for line in out.lines.iter().take(4) {
+            println!("   {line}");
+        }
+        if out.lines.len() > 4 {
+            println!("   … ({} more lines)", out.lines.len() - 4);
+        }
+    }
+
+    // --- The last half hour: the benchmarking study. -------------------
+    println!("\n== 4. The benchmarking study ==");
+    for study in module_a_study(Scale::Quick) {
+        println!("{}", study.render());
+    }
+    println!(
+        "completion: {:.0}%",
+        gradebook.completion("learner", &module) * 100.0
+    );
+}

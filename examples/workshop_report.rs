@@ -1,0 +1,42 @@
+//! The July-2020 workshop's full assessment report: cohort, Table II,
+//! Figures 3–4 (with our recomputed paired t-tests), and what outfitting
+//! the cohort with kits cost.
+//!
+//! ```text
+//! cargo run --example workshop_report
+//! ```
+
+use pdc_core::Workshop;
+use pdc_pikit::bom::format_dollars;
+use pdc_pikit::Kit;
+
+fn main() {
+    let workshop = Workshop::july_2020();
+    println!("{}", workshop.render_report());
+
+    let kit = Kit::table1();
+    println!(
+        "logistics: mailing one kit per participant cost {} × {} = {}",
+        format_dollars(kit.total_cents()),
+        workshop.cohort.len(),
+        format_dollars(kit.classroom_cents(workshop.cohort.len() as u32)),
+    );
+    println!(
+        "(the older Pimoroni-style kit would have cost {} per learner)",
+        format_dollars(Kit::pimoroni_2018().total_cents())
+    );
+
+    // The statistical punchline, stated plainly.
+    let f3 = workshop.figure3();
+    let f4 = workshop.figure4();
+    println!(
+        "\nconfidence:   t = {:.2}, p = {:.1e} (published 0.0004)",
+        f3.t_test().t,
+        f3.t_test().p_two_sided
+    );
+    println!(
+        "preparedness: t = {:.2}, p = {:.1e} (published 4.18e-08)",
+        f4.t_test().t,
+        f4.t_test().p_two_sided
+    );
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Final verification sequence (run from the repo root): fmt, clippy,
+# golden regeneration, full tests, full benches.
+set -x
+cargo fmt --all
+cargo clippy --workspace --all-targets 2>&1 | grep -cE "^(warning|error)" || true
+cargo run -q -p pdc-bench --bin reproduce -- injection > tests/golden/injection.txt
+cargo run -q -p pdc-bench --bin reproduce -- economics > tests/golden/economics.txt
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt | grep -E "test result|FAILED" | tail -40
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | grep -E "^(Benchmarking|test )|time:" | tail -20
+echo FINALIZE_DONE

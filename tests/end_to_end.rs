@@ -1,0 +1,122 @@
+//! End-to-end integration tests: the two modules from kit to report,
+//! crossing every crate boundary in the workspace.
+
+use pdc_core::study::{module_a_study, module_b_study, Scale};
+use pdc_core::{module_a, module_b, Workshop};
+use pdc_courseware::module::Block;
+use pdc_courseware::notebook::Cell;
+use pdc_courseware::Gradebook;
+use pdc_patternlets::registry;
+use pdc_pikit::{Device, PiModel, Playbook};
+
+#[test]
+fn module_a_full_learner_journey() {
+    // 1. Kit arrives; learner provisions it via the chapter-1 steps.
+    let mut pi = Device::kit_pi4();
+    let report = Playbook::kit_setup().run(&mut pi);
+    assert!(report.success());
+    assert!(pi.ready_for_module_a());
+    assert_eq!(pi.model.cores(), 4, "the Pi the study assumes");
+
+    // 2. The learner opens the handout and works the Figure-1 section.
+    let module = module_a::module();
+    let mut gradebook = Gradebook::new();
+    let section = module.section("2.3").unwrap();
+    let activity = section
+        .blocks
+        .iter()
+        .find_map(|b| match b {
+            Block::Activity(a) => Some(a),
+            _ => None,
+        })
+        .unwrap();
+    assert!(gradebook.attempt_mc("learner", activity, 2).correct);
+
+    // 3. The hands-on hour: every linked patternlet runs on "the Pi's"
+    //    4 threads and produces output.
+    for id in module.patternlet_ids() {
+        let out = registry::find(id).unwrap().run(pi.model.cores());
+        assert!(!out.lines.is_empty(), "{id}");
+    }
+
+    // 4. The closing benchmarking study produces the Pi-vs-Colab shapes.
+    let studies = module_a_study(Scale::Quick);
+    for s in &studies {
+        let pi4 = s.predicted_at("Raspberry Pi 4B", 4).unwrap();
+        let colab4 = s.predicted_at("Google Colab VM", 4).unwrap();
+        assert!(
+            pi4 > 2.5 && colab4 <= 1.01,
+            "{}: {pi4} vs {colab4}",
+            s.exemplar
+        );
+    }
+}
+
+#[test]
+fn module_b_full_learner_journey() {
+    // Hour 1: the whole Colab notebook executes; the SPMD cell produces
+    // the Figure-2 output on the Colab container hostname.
+    let nb = module_b::executed_notebook();
+    let mut mpirun_cells = 0;
+    for cell in &nb.cells {
+        if let Cell::Code { source, outputs } = cell {
+            if source.starts_with("!mpirun") {
+                mpirun_cells += 1;
+                assert!(!outputs.is_empty());
+            }
+        }
+    }
+    assert_eq!(
+        mpirun_cells, 11,
+        "eleven patternlet programs in the notebook"
+    );
+    let fig2 = module_b::render_figure2();
+    assert!(fig2.contains("Greetings from process 0 of 4 on d6ff4f902ed6"));
+
+    // Hour 2: scalability study shows Colab flat, the big platforms not.
+    let studies = module_b_study(Scale::Quick);
+    for s in &studies {
+        let colab = s.predicted_at("Google Colab VM", 16).unwrap();
+        let stolaf = s.predicted_at("St. Olaf 64-core VM", 16).unwrap();
+        let cham = s.predicted_at("Chameleon cluster (4×24)", 16).unwrap();
+        assert!(colab <= 1.01, "{}", s.exemplar);
+        assert!(stolaf > 4.0, "{}: {stolaf}", s.exemplar);
+        assert!(cham > 2.0, "{}: {cham}", s.exemplar);
+    }
+}
+
+#[test]
+fn unsupported_pi_blocks_the_module() {
+    // A learner with an old Pi 2 can't boot the csip image — the failure
+    // mode the setup videos warn about.
+    let mut old = Device::new(PiModel::Pi2);
+    old.sd = Some(pdc_pikit::device::SdCard {
+        capacity_gb: 16,
+        flashed: None,
+    });
+    let report = Playbook::kit_setup().run(&mut old);
+    assert!(!report.success());
+    assert!(!old.ready_for_module_a());
+}
+
+#[test]
+fn workshop_report_assembles_everything() {
+    let w = Workshop::july_2020();
+    let report = w.render_report();
+    // One string containing the cohort, Table II, and both figures.
+    for needle in ["n = 22", "4.55", "2.82", "3.77", "paired t-test"] {
+        assert!(report.contains(needle), "missing {needle}");
+    }
+    // And the t-tests recompute to the published order of magnitude.
+    assert!(w.figure3().t_test().p_two_sided < 0.005);
+    assert!(w.figure4().t_test().p_two_sided < 1e-5);
+}
+
+#[test]
+fn both_paradigm_catalogs_run_at_workshop_size() {
+    // The workshop ran everything at np/threads = 4.
+    for p in registry::all() {
+        let out = p.run(4);
+        assert!(!out.lines.is_empty(), "{}", p.id);
+    }
+}

@@ -1,0 +1,136 @@
+//! Every experiment in the index must regenerate its artifact with the
+//! paper's load-bearing content — the machine-checkable version of
+//! EXPERIMENTS.md.
+
+use pdc_core::experiments;
+
+fn output_of(id: &str) -> String {
+    experiments::run(id).unwrap_or_else(|| panic!("experiment {id} missing"))
+}
+
+#[test]
+fn table1_reports_the_papers_rows_and_total() {
+    let out = output_of("table1");
+    for needle in [
+        "CanaKit with 2G Raspberry Pi",
+        "$62.99",
+        "Ethernet-USB A dongle",
+        "$15.95",
+        "USB A-C dongle",
+        "$3.99",
+        "Ethernet cable",
+        "$1.55",
+        "16G MicroSD",
+        "$5.41",
+        "Kit case",
+        "$10.77",
+        "Total Kit Cost",
+        "$100.66",
+    ] {
+        assert!(out.contains(needle), "table1 missing {needle}\n{out}");
+    }
+}
+
+#[test]
+fn table2_reports_the_papers_means() {
+    let out = output_of("table2");
+    for needle in [
+        "OpenMP on Raspberry Pi",
+        "4.55",
+        "4.45",
+        "MPI & Distr. Cluster Computing",
+        "4.38",
+        "4.29",
+    ] {
+        assert!(out.contains(needle), "table2 missing {needle}");
+    }
+}
+
+#[test]
+fn fig1_reproduces_the_runestone_view() {
+    let out = output_of("fig1");
+    for needle in [
+        "2.3 Race Conditions",
+        "The following video will help you understand",
+        "0:00/2:02",
+        "What is a race condition?",
+        "It is a mechanism that helps protect a resource.",
+        "two or more threads attempt to modify a shared variable",
+        "Activity: sp_mc_2",
+    ] {
+        assert!(out.contains(needle), "fig1 missing {needle}");
+    }
+}
+
+#[test]
+fn fig2_reproduces_the_colab_view() {
+    let out = output_of("fig2");
+    for needle in [
+        "Single Program, Multiple Data",
+        "%%writefile 00spmd.py",
+        "from mpi4py import MPI",
+        "comm = MPI.COMM_WORLD",
+        "!mpirun --allow-run-as-root -np 4 python 00spmd.py",
+        "Greetings from process 0 of 4 on d6ff4f902ed6",
+        "Greetings from process 1 of 4 on d6ff4f902ed6",
+        "Greetings from process 2 of 4 on d6ff4f902ed6",
+        "Greetings from process 3 of 4 on d6ff4f902ed6",
+    ] {
+        assert!(out.contains(needle), "fig2 missing {needle}");
+    }
+}
+
+#[test]
+fn fig3_and_fig4_report_published_statistics() {
+    let f3 = output_of("fig3");
+    assert!(f3.contains("published: pre µ = 2.82, post µ = 3.59"));
+    assert!(f3.contains("paired t-test"));
+    let f4 = output_of("fig4");
+    assert!(f4.contains("published: pre µ = 2.59, post µ = 3.77"));
+    // Figure 4's labels differ from Figure 3's — both must be right.
+    assert!(f3.contains("moderately"));
+    assert!(f4.contains("quite a bit"));
+}
+
+#[test]
+fn cohort_summary_matches_section_iv() {
+    let out = output_of("cohort");
+    assert!(out.contains("n = 22"));
+    assert!(out.contains("male 77%"));
+    assert!(out.contains("Puerto Rico 1"));
+}
+
+#[test]
+fn studies_emit_speedup_tables() {
+    let a = output_of("moduleA-study");
+    assert!(a.contains("numerical integration"));
+    assert!(a.contains("drug design"));
+    assert!(a.contains("Raspberry Pi 4B"));
+    let b = output_of("moduleB-study");
+    assert!(b.contains("forest fire"));
+    assert!(b.contains("St. Olaf 64-core VM"));
+    assert!(b.contains("Chameleon"));
+}
+
+#[test]
+fn full_reproduce_run_covers_all_ids() {
+    // What `reproduce` without arguments does.
+    let ids: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
+    assert_eq!(
+        ids,
+        vec![
+            "table1",
+            "fig1",
+            "fig2",
+            "cohort",
+            "table2",
+            "fig3",
+            "fig4",
+            "feedback",
+            "injection",
+            "economics",
+            "moduleA-study",
+            "moduleB-study"
+        ]
+    );
+}

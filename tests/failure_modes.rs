@@ -1,0 +1,159 @@
+//! Failure-injection tests: the workspace's error paths, exercised
+//! end-to-end. A library a downstream course would adopt must fail
+//! loudly and legibly, not hang or mis-deliver.
+
+use std::time::Duration;
+
+use pdc_mpc::{MpcError, Source, TagSel, World};
+use pdc_pikit::{Device, PiModel, Playbook};
+
+#[test]
+fn type_confusion_in_messages_is_a_decode_error() {
+    // Sender serializes a string; receiver asks for a u64.
+    let errs = World::new(2).run(|c| {
+        if c.rank() == 0 {
+            c.send(1, 0, &"not a number".to_owned()).unwrap();
+            None
+        } else {
+            c.recv::<u64>(0, 0).err()
+        }
+    });
+    assert!(matches!(errs[1], Some(MpcError::Decode(_))), "{errs:?}");
+}
+
+#[test]
+fn scatter_without_root_data_fails_cleanly() {
+    let errs = World::new(2).run(|c| {
+        if c.rank() == 0 {
+            // Root "forgets" to supply the data.
+            c.scatter::<u32>(0, None).err()
+        } else {
+            // The worker would hang forever waiting; use a bounded recv
+            // to prove nothing was sent.
+            c.recv_timeout::<u32>(0, TagSel::Any, Duration::from_millis(80))
+                .err()
+        }
+    });
+    assert!(matches!(errs[0], Some(MpcError::CollectiveMismatch(_))));
+    assert!(matches!(errs[1], Some(MpcError::Timeout { .. })));
+}
+
+#[test]
+fn bcast_root_out_of_range() {
+    let errs = World::new(2).run(|c| c.bcast(7, Some(1u8)).err());
+    for e in errs {
+        assert!(matches!(
+            e,
+            Some(MpcError::RankOutOfRange { rank: 7, size: 2 })
+        ));
+    }
+}
+
+#[test]
+fn alltoall_wrong_length_rejected_everywhere() {
+    let errs = World::new(3).run(|c| {
+        // Everyone passes a wrong-length vector; nobody should hang.
+        c.alltoall(vec![c.rank(); 2]).err()
+    });
+    for e in errs {
+        assert!(matches!(e, Some(MpcError::CollectiveMismatch(_))));
+    }
+}
+
+#[test]
+fn self_send_works_but_wrong_tag_times_out() {
+    World::new(1).run(|c| {
+        c.send(0, 5, &1u8).unwrap();
+        let err = c
+            .recv_timeout::<u8>(0, 6, Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, MpcError::Timeout { .. }));
+        // The message is still there under the right tag.
+        let (v, st) = c
+            .recv_timeout::<u8>(0, 5, Duration::from_millis(50))
+            .unwrap();
+        assert_eq!((v, st.tag), (1, 5));
+    });
+}
+
+#[test]
+fn any_source_does_not_steal_from_other_comms() {
+    let out = World::new(4).run(|c| {
+        let sub = c.split((c.rank() % 2) as i32, 0).unwrap();
+        // World-rank 0 sends on the WORLD comm to world-rank 2.
+        if c.rank() == 0 {
+            c.send(2, 0, &99u8).unwrap();
+        }
+        // Meanwhile world-rank 2 listens on the SUB comm with ANY_SOURCE:
+        // it must NOT see the world message.
+        if c.rank() == 2 {
+            let stolen =
+                sub.recv_timeout::<u8>(Source::Any, TagSel::Any, Duration::from_millis(60));
+            let legit: u8 = c.recv(0, 0).unwrap();
+            (stolen.is_err(), legit)
+        } else {
+            (true, 0)
+        }
+    });
+    assert_eq!(out[2], (true, 99));
+}
+
+#[test]
+fn provisioning_reports_all_failures_not_just_the_first() {
+    // No SD card AND an unsupported model: flash fails and boot fails,
+    // and the report shows both.
+    let mut dev = Device::new(PiModel::Pi2);
+    let report = Playbook::kit_setup().run(&mut dev);
+    let failures: Vec<&str> = report
+        .entries
+        .iter()
+        .filter(|(_, o)| matches!(o, pdc_pikit::TaskOutcome::Failed(_)))
+        .map(|(n, _)| n.as_str())
+        .collect();
+    assert!(failures.contains(&"flash system image"));
+    assert!(failures.contains(&"boot from image"));
+    assert!(failures.len() >= 2);
+}
+
+#[test]
+fn stats_degenerate_inputs_error_not_panic() {
+    use pdc_stats::ttest::paired_t_test;
+    use pdc_stats::{spearman, wilcoxon_signed_rank};
+    // Identical pre/post: zero-variance differences.
+    assert!(paired_t_test(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]).is_err());
+    assert!(wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+    assert!(spearman(&[2.0, 2.0], &[1.0, 3.0]).is_err());
+}
+
+#[test]
+fn likert_vector_rejects_out_of_scale() {
+    use pdc_assessment::LikertVector;
+    assert!(LikertVector::new(vec![1, 2, 6]).is_err());
+    assert!(LikertVector::new(vec![0]).is_err());
+    assert!(LikertVector::new(vec![]).unwrap().is_empty());
+}
+
+#[test]
+fn notebook_runtime_surfaces_user_errors() {
+    use pdc_courseware::notebook::NotebookRuntime;
+    let mut rt = NotebookRuntime::new();
+    // Running before writing.
+    let out = rt.execute_source("!mpirun -np 2 python missing.py");
+    assert!(out[0].contains("no such file"));
+    // Bad mpirun syntax.
+    rt.execute_source("%%writefile a.py\npass");
+    let out = rt.execute_source("!mpirun a.py");
+    assert!(out[0].contains("usage"));
+    // Unsupported magic.
+    let out = rt.execute_source("%%timeit\nx = 1");
+    assert!(out[0].contains("not executable"));
+}
+
+#[test]
+fn heat_rejects_unstable_configuration_before_running() {
+    let bad = pdc_exemplars::heat::HeatConfig {
+        alpha: 0.75,
+        ..Default::default()
+    };
+    assert!(std::panic::catch_unwind(|| pdc_exemplars::heat::run_seq(&bad)).is_err());
+}
