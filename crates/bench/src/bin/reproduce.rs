@@ -1,35 +1,144 @@
 //! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! reproduce            # print every experiment
-//! reproduce fig3       # print one
-//! reproduce --list     # list experiment ids
+//! reproduce                    # print every experiment
+//! reproduce fig3               # print one
+//! reproduce --list             # list experiment ids
+//! reproduce --trace trace.json # run traced; write a Chrome trace
 //! ```
+//!
+//! With `--trace <path>` the runtimes' tracer is enabled for the run:
+//! the captured events are exported as Chrome trace-event JSON (open in
+//! Perfetto / `chrome://tracing`), or JSONL when the path ends in
+//! `.jsonl`; a plain-text metric summary is printed after the
+//! experiments; and machine-readable per-experiment timings go to
+//! `artifacts/BENCH_trace.json`.
+
+use std::time::Instant;
 
 use pdc_core::experiments;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--list") => {
-            for e in experiments::all() {
-                println!("{:14} {}", e.id, e.title);
-            }
+struct Cli {
+    list: bool,
+    trace: Option<String>,
+    id: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli {
+        list: false,
+        trace: None,
+        id: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => cli.list = true,
+            "--trace" => match args.next() {
+                Some(path) => cli.trace = Some(path),
+                None => {
+                    eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            other => cli.id = Some(other.to_owned()),
         }
-        Some(id) => match experiments::run(id) {
-            Some(output) => println!("{output}"),
-            None => {
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+    if cli.list {
+        for e in experiments::all() {
+            println!("{:14} {}", e.id, e.title);
+        }
+        return;
+    }
+
+    if cli.trace.is_some() {
+        pdc_trace::reset();
+        pdc_trace::enable();
+    }
+
+    // (experiment id, wall seconds) for the machine-readable report.
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    match cli.id.as_deref() {
+        Some(id) => {
+            let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
                 eprintln!("unknown experiment '{id}'; try --list");
                 std::process::exit(2);
-            }
-        },
+            };
+            let start = Instant::now();
+            let output = (exp.run)();
+            timings.push((exp.id.to_owned(), start.elapsed().as_secs_f64()));
+            println!("{output}");
+        }
         None => {
             for e in experiments::all() {
                 println!("================================================================");
                 println!("{} — {}", e.id, e.title);
                 println!("================================================================");
-                println!("{}", (e.run)());
+                let start = Instant::now();
+                let output = (e.run)();
+                timings.push((e.id.to_owned(), start.elapsed().as_secs_f64()));
+                println!("{output}");
             }
         }
     }
+
+    if let Some(path) = cli.trace {
+        pdc_trace::disable();
+        let events = pdc_trace::drain();
+        let exported = if path.ends_with(".jsonl") {
+            pdc_trace::export::jsonl(&events)
+        } else {
+            pdc_trace::export::chrome_trace(&events)
+        };
+        if let Err(e) = std::fs::write(&path, exported) {
+            eprintln!("failed to write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("================================================================");
+        println!("runtime metrics ({} events -> {path})", events.len());
+        println!("================================================================");
+        println!("{}", pdc_trace::export::summary(&events));
+
+        if let Err(e) = write_bench_report(&timings, &events, &path) {
+            eprintln!("failed to write artifacts/BENCH_trace.json: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote artifacts/BENCH_trace.json");
+    }
+}
+
+/// Machine-readable run report: per-experiment wall timings plus trace
+/// stream statistics, for CI to archive and diff.
+fn write_bench_report(
+    timings: &[(String, f64)],
+    events: &[pdc_trace::Event],
+    trace_path: &str,
+) -> std::io::Result<()> {
+    use pdc_trace::EventKind;
+    let count = |f: fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+    let report = serde_json::json!({
+        "schema": "pdc-bench/trace-report/v1",
+        "command": "reproduce --trace",
+        "trace_path": trace_path,
+        "experiments": timings
+            .iter()
+            .map(|(id, secs)| serde_json::json!({ "id": id, "wall_s": secs }))
+            .collect::<Vec<_>>(),
+        "trace": {
+            "events": events.len(),
+            "spans": count(|k| matches!(k, EventKind::Span { .. })),
+            "instants": count(|k| matches!(k, EventKind::Instant)),
+            "counters": count(|k| matches!(k, EventKind::Counter { .. })),
+            "gauges": count(|k| matches!(k, EventKind::Gauge { .. })),
+        },
+    });
+    std::fs::create_dir_all("artifacts")?;
+    let body = serde_json::to_string_pretty(&report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write("artifacts/BENCH_trace.json", body)
 }

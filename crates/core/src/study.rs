@@ -39,6 +39,70 @@ pub struct StudyRow {
     pub measured_speedup: f64,
     /// Model-predicted speedup per platform: (platform name, speedup).
     pub predicted: Vec<(String, f64)>,
+    /// Runtime overhead observed by the tracer during this row's run.
+    /// `None` when tracing was off (the default, so clean timings).
+    pub observed: Option<ObservedOverhead>,
+}
+
+/// Where the speedup went: overhead totals the tracer observed during
+/// one study row, aggregated across all threads / ranks. The measured
+/// companion to the model's Karp–Flatt diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ObservedOverhead {
+    /// Total seconds threads spent waiting at shmem barriers.
+    pub barrier_wait_s: f64,
+    /// Contended `SpinLock`/`TicketLock` acquisitions.
+    pub lock_contentions: u64,
+    /// Messages crossing the mpc fabric.
+    pub comm_msgs: u64,
+    /// Payload bytes crossing the mpc fabric.
+    pub comm_bytes: u64,
+    /// Total seconds ranks spent blocked in `recv`.
+    pub recv_wait_s: f64,
+}
+
+impl ObservedOverhead {
+    /// Aggregate one row's trace events.
+    pub fn from_events(events: &[pdc_trace::Event]) -> Self {
+        use pdc_trace::EventKind;
+        let mut o = ObservedOverhead::default();
+        for e in events {
+            match (&e.kind, e.category, e.name) {
+                (EventKind::Span { dur_ns }, "shmem", "barrier_wait") => {
+                    o.barrier_wait_s += *dur_ns as f64 / 1e9;
+                }
+                (EventKind::Counter { delta }, "shmem", "spinlock_contended")
+                | (EventKind::Counter { delta }, "shmem", "ticketlock_contended") => {
+                    o.lock_contentions += (*delta).max(0) as u64;
+                }
+                (EventKind::Span { .. }, "mpc", "send") => {
+                    o.comm_msgs += 1;
+                    if let Some((_, pdc_trace::ArgValue::U64(b))) =
+                        e.args.iter().find(|(k, _)| *k == "bytes")
+                    {
+                        o.comm_bytes += b;
+                    }
+                }
+                (EventKind::Span { dur_ns }, "mpc", "recv") => {
+                    o.recv_wait_s += *dur_ns as f64 / 1e9;
+                }
+                _ => {}
+            }
+        }
+        o
+    }
+
+    /// One-line rendering used under the study table.
+    pub fn render(&self) -> String {
+        format!(
+            "barrier wait {:.4}s, lock contentions {}, comm {} msgs / {} B, recv wait {:.4}s",
+            self.barrier_wait_s,
+            self.lock_contentions,
+            self.comm_msgs,
+            self.comm_bytes,
+            self.recv_wait_s
+        )
+    }
 }
 
 /// A full sweep for one exemplar.
@@ -73,6 +137,13 @@ impl SpeedupStudy {
                 out.push_str(&format!(" | {s:>18.2}"));
             }
             out.push('\n');
+        }
+        // With tracing on, say where the wall time actually went — the
+        // measured companion to the model's Karp–Flatt diagnostic.
+        for row in &self.rows {
+            if let Some(obs) = &row.observed {
+                out.push_str(&format!("  observed @p={}: {}\n", row.p, obs.render()));
+            }
         }
         out
     }
@@ -133,7 +204,19 @@ fn build_study(
     let mut rows = Vec::with_capacity(ps.len());
     let mut t1 = None;
     for &p in ps {
+        // When the caller (e.g. `reproduce --trace`) has tracing on,
+        // split the event stream around this row: drain what came
+        // before, run, aggregate the row's own events, then hand both
+        // batches back so the caller's exporter still sees everything.
+        let stash = pdc_trace::is_enabled().then(pdc_trace::drain);
         let (secs, ()) = time(|| run(p));
+        let observed = stash.map(|stash| {
+            let row_events = pdc_trace::drain();
+            let obs = ObservedOverhead::from_events(&row_events);
+            pdc_trace::inject(stash);
+            pdc_trace::inject(row_events);
+            obs
+        });
         let t1 = *t1.get_or_insert(secs);
         let model = model_of(t1.max(nominal_s));
         let predicted = platforms
@@ -145,6 +228,7 @@ fn build_study(
             measured_s: secs,
             measured_speedup: t1 / secs,
             predicted,
+            observed,
         });
     }
     SpeedupStudy {
@@ -314,6 +398,26 @@ mod tests {
                 assert!(row.measured_speedup > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn observed_overhead_absent_without_tracing_present_with_it() {
+        let studies = module_a_study(Scale::Quick);
+        assert!(studies
+            .iter()
+            .flat_map(|s| &s.rows)
+            .all(|r| r.observed.is_none()));
+
+        let ((), _events) = pdc_trace::with_tracing(|| {
+            let studies = module_a_study(Scale::Quick);
+            for s in &studies {
+                for row in &s.rows {
+                    let obs = row.observed.expect("tracing was on");
+                    assert!(obs.barrier_wait_s >= 0.0 && obs.barrier_wait_s.is_finite());
+                }
+                assert!(s.render().contains("observed @p="));
+            }
+        });
     }
 
     #[test]

@@ -49,6 +49,16 @@ impl Comm {
         self.fabric.algo
     }
 
+    /// Open a trace span for a collective, tagged with this rank's view
+    /// of the call. Each rank records its own span, so a timeline shows
+    /// who arrived late (skew) and who waited.
+    fn cspan(&self, name: &'static str) -> pdc_trace::SpanGuard {
+        let mut span = pdc_trace::span("mpc", name);
+        span.arg("rank", self.rank);
+        span.arg("size", self.size());
+        span
+    }
+
     /// Typed internal send on a reserved tag.
     fn csend<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<()> {
         let bytes = crate::comm::encode(value)?;
@@ -68,6 +78,7 @@ impl Comm {
     /// Block until every rank of the communicator has entered the
     /// barrier — `MPI_Barrier`.
     pub fn barrier(&self) -> Result<()> {
+        let _span = self.cspan("barrier");
         match self.algo() {
             CollectiveAlgo::Linear => {
                 if self.rank() == 0 {
@@ -103,6 +114,7 @@ impl Comm {
     where
         T: Serialize + DeserializeOwned + Clone,
     {
+        let _span = self.cspan("bcast");
         match self.algo() {
             CollectiveAlgo::Linear => self.bcast_linear(root, value, TAG_BCAST),
             CollectiveAlgo::BinomialTree => self.bcast_tree(root, value, TAG_BCAST),
@@ -185,6 +197,7 @@ impl Comm {
     where
         T: Serialize + DeserializeOwned,
     {
+        let _span = self.cspan("scatter");
         if self.rank() == root {
             let values = values.ok_or_else(|| {
                 MpcError::CollectiveMismatch("root must supply Some(values)".into())
@@ -226,6 +239,7 @@ impl Comm {
     where
         T: Serialize + DeserializeOwned,
     {
+        let _span = self.cspan("gather");
         self.check_root(root)?;
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
@@ -247,6 +261,7 @@ impl Comm {
     where
         T: Serialize + DeserializeOwned + Clone,
     {
+        let _span = self.cspan("allgather");
         let gathered = self.gather(0, value)?;
         self.bcast(0, gathered)
     }
@@ -265,6 +280,7 @@ impl Comm {
         T: Serialize + DeserializeOwned,
         F: Fn(T, T) -> T,
     {
+        let _span = self.cspan("reduce");
         self.check_root(root)?;
         match self.algo() {
             CollectiveAlgo::Linear => {
@@ -324,6 +340,7 @@ impl Comm {
         T: Serialize + DeserializeOwned + Clone,
         F: Fn(T, T) -> T,
     {
+        let _span = self.cspan("allreduce");
         let reduced = self.reduce(0, value, op)?;
         self.bcast(0, reduced)
     }
@@ -336,6 +353,7 @@ impl Comm {
         T: Serialize + DeserializeOwned + Clone,
         F: Fn(T, T) -> T,
     {
+        let _span = self.cspan("scan");
         let rank = self.rank();
         let acc = if rank == 0 {
             value
@@ -360,6 +378,7 @@ impl Comm {
     where
         T: Serialize + DeserializeOwned,
     {
+        let _span = self.cspan("alltoall");
         if values.len() != self.size() {
             return Err(MpcError::CollectiveMismatch(format!(
                 "alltoall input length {} != communicator size {}",
@@ -403,6 +422,7 @@ impl Comm {
         T: Serialize + DeserializeOwned,
         F: Fn(T, T) -> T,
     {
+        let _span = self.cspan("reduce_scatter");
         if values.len() != self.size() {
             return Err(MpcError::CollectiveMismatch(format!(
                 "reduce_scatter input length {} != communicator size {}",

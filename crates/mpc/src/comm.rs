@@ -99,6 +99,11 @@ impl Comm {
         sync_ack: Option<Arc<Latch>>,
     ) -> Result<()> {
         self.check_rank(dest)?;
+        let mut span = pdc_trace::span("mpc", "send");
+        span.arg("src", self.world_rank(self.rank));
+        span.arg("dst", self.world_rank(dest));
+        span.arg("tag", tag);
+        span.arg("bytes", payload.len());
         if let Some(traffic) = &self.fabric.traffic {
             traffic.record(
                 self.world_rank(self.rank),
@@ -124,7 +129,14 @@ impl Comm {
         timeout: Option<Duration>,
     ) -> Result<(Bytes, Status)> {
         let me = self.world_rank(self.rank);
+        // The span covers the blocking wait, so its duration is the time
+        // this rank spent idle for the message.
+        let mut span = pdc_trace::span("mpc", "recv");
         let env = self.fabric.mailboxes[me].take_matching(self.comm_id, src, tag, timeout)?;
+        span.arg("src", self.world_rank(env.src));
+        span.arg("dst", me);
+        span.arg("tag", env.tag);
+        span.arg("bytes", env.payload.len());
         let status = Status {
             source: env.src,
             tag: env.tag,

@@ -76,7 +76,15 @@ impl Mailbox {
 
     /// Deposit a message (called by the sender's thread).
     pub(crate) fn deposit(&self, env: Envelope) {
-        self.queue.lock().push_back(env);
+        let depth = {
+            let mut q = self.queue.lock();
+            q.push_back(env);
+            q.len()
+        };
+        // Sampled on every deposit/removal, the gauge traces the queue
+        // depth over time — backlog spikes show up as a sawtooth in the
+        // timeline rather than only as an end-of-run total.
+        pdc_trace::gauge("mpc", "mailbox_depth", depth as f64);
         self.arrived.notify_all();
     }
 
@@ -97,6 +105,7 @@ impl Mailbox {
         loop {
             if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
                 let env = q.remove(pos).expect("position just found");
+                pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
                 if let Some(latch) = &env.sync_ack {
                     latch.open();
                 }
@@ -110,6 +119,7 @@ impl Mailbox {
                         // at the deadline.
                         if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
                             let env = q.remove(pos).expect("position just found");
+                            pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
                             if let Some(latch) = &env.sync_ack {
                                 latch.open();
                             }

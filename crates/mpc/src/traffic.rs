@@ -10,6 +10,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use serde::{Deserialize, Serialize};
+
 /// Traffic counters for an `np`-rank world.
 #[derive(Debug)]
 pub(crate) struct TrafficCounters {
@@ -51,7 +53,7 @@ impl TrafficCounters {
 }
 
 /// A completed run's traffic: messages and bytes per (src, dst) pair.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficMatrix {
     np: usize,
     msgs: Vec<u64>,
@@ -101,6 +103,50 @@ impl TrafficMatrix {
             .map(|r| (r, self.in_degree(r)))
             .max_by_key(|&(_, c)| c)
             .expect("np >= 1")
+    }
+
+    /// Render the byte matrix, companion to [`TrafficMatrix::render`].
+    pub fn render_bytes(&self) -> String {
+        let mut out = String::from("payload bytes (row = sender, col = receiver):\n      ");
+        for d in 0..self.np {
+            out.push_str(&format!("{d:>8}"));
+        }
+        out.push('\n');
+        for s in 0..self.np {
+            out.push_str(&format!("{s:>5} "));
+            for d in 0..self.np {
+                out.push_str(&format!("{:>8}", self.bytes(s, d)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON object per (src, dst) pair that saw traffic, newline
+    /// separated — the same shape the tracer's JSONL exporter emits, so
+    /// both streams can be appended to one file and joined by `kind`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in 0..self.np {
+            for d in 0..self.np {
+                let msgs = self.messages(s, d);
+                if msgs == 0 {
+                    continue;
+                }
+                out.push_str(
+                    &serde_json::json!({
+                        "kind": "traffic",
+                        "src": s,
+                        "dst": d,
+                        "msgs": msgs,
+                        "bytes": self.bytes(s, d),
+                    })
+                    .to_string(),
+                );
+                out.push('\n');
+            }
+        }
+        out
     }
 
     /// Render the message matrix.
@@ -159,5 +205,41 @@ mod tests {
         let s = c.snapshot().render();
         assert!(s.contains("row = sender"));
         assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn render_bytes_contains_payload_sizes() {
+        let c = TrafficCounters::new(2);
+        c.record(1, 0, 1234);
+        let s = c.snapshot().render_bytes();
+        assert!(s.contains("payload bytes"));
+        assert!(s.contains("1234"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TrafficCounters::new(3);
+        c.record(0, 2, 5);
+        c.record(2, 1, 9);
+        let m = c.snapshot();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: TrafficMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn jsonl_lists_only_active_pairs() {
+        let c = TrafficCounters::new(3);
+        c.record(0, 1, 10);
+        c.record(0, 1, 10);
+        let jsonl = c.snapshot().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v["kind"], "traffic");
+        assert_eq!(v["src"], 0);
+        assert_eq!(v["dst"], 1);
+        assert_eq!(v["msgs"], 2);
+        assert_eq!(v["bytes"], 20);
     }
 }

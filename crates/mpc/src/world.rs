@@ -130,6 +130,8 @@ impl World {
         });
         let group: Arc<Vec<usize>> = Arc::new((0..self.np).collect());
 
+        let mut run_span = pdc_trace::span("mpc", "world_run");
+        run_span.arg("np", self.np);
         let mut results: Vec<Option<T>> = (0..self.np).map(|_| None).collect();
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(self.np);
@@ -138,6 +140,11 @@ impl World {
                 let group = Arc::clone(&group);
                 let body = &body;
                 handles.push(s.spawn(move || {
+                    if pdc_trace::is_enabled() {
+                        pdc_trace::set_thread_label(format!("rank {rank}"));
+                    }
+                    let mut rank_span = pdc_trace::span("mpc", "rank");
+                    rank_span.arg("rank", rank);
                     let comm = Comm {
                         fabric,
                         comm_id: 0,
@@ -145,6 +152,12 @@ impl World {
                         rank,
                     };
                     *slot = Some(body(comm));
+                    // Close the span, then park this rank's buffered
+                    // events: the scoped join only waits for the closure,
+                    // not for TLS destructors, so a drop-time flush could
+                    // race a post-join drain().
+                    drop(rank_span);
+                    pdc_trace::flush_thread();
                 }));
             }
             for h in handles {

@@ -29,6 +29,7 @@ where
         Schedule::Static { .. } => {
             team.parallel(|ctx| {
                 for chunk in schedule.static_chunks(len, ctx.thread_num(), ctx.num_threads()) {
+                    trace_chunk(&schedule, ctx, offset, &chunk);
                     for i in chunk {
                         body(offset + i, ctx);
                     }
@@ -39,12 +40,32 @@ where
             let cursor = DynamicCursor::new(len, team.num_threads(), schedule);
             team.parallel(|ctx| {
                 while let Some(chunk) = cursor.claim() {
+                    trace_chunk(&schedule, ctx, offset, &chunk);
                     for i in chunk {
                         body(offset + i, ctx);
                     }
                 }
             });
         }
+    }
+}
+
+/// Record one dispatch event per claimed/assigned chunk, keyed by the
+/// schedule family. The `is_enabled` guard keeps the args `Vec` from
+/// being built when tracing is off.
+#[inline]
+fn trace_chunk(schedule: &Schedule, ctx: &ThreadCtx, offset: usize, chunk: &Range<usize>) {
+    if pdc_trace::is_enabled() {
+        pdc_trace::instant(
+            "shmem",
+            "chunk",
+            vec![
+                ("schedule", schedule.kind_label().into()),
+                ("start", (offset + chunk.start).into()),
+                ("len", chunk.len().into()),
+                ("thread", ctx.thread_num().into()),
+            ],
+        );
     }
 }
 

@@ -51,6 +51,16 @@ impl Schedule {
         Schedule::Static { chunk: Some(1) }
     }
 
+    /// Static label for trace events: the schedule family without its
+    /// chunk parameter (`"static"` / `"dynamic"` / `"guided"`).
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            Schedule::Static { .. } => "static",
+            Schedule::Dynamic { .. } => "dynamic",
+            Schedule::Guided { .. } => "guided",
+        }
+    }
+
     /// Human-readable name used in bench reports.
     pub fn name(&self) -> String {
         match self {

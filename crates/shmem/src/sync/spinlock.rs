@@ -44,6 +44,12 @@ impl<T> SpinLock<T> {
                     .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                if tries > 0 {
+                    // One increment per acquisition that had to spin, not
+                    // per spin iteration — the count answers "how often
+                    // was this lock busy?", not "how long did we wait?".
+                    pdc_trace::counter("shmem", "spinlock_contended", 1);
+                }
                 return SpinLockGuard { lock: self };
             }
             backoff(tries);

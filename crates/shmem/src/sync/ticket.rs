@@ -42,6 +42,11 @@ impl<T> TicketLock<T> {
             backoff(tries);
             tries = tries.saturating_add(1);
         }
+        if tries > 0 {
+            // Counted once per acquisition that found another ticket
+            // ahead of it, mirroring the SpinLock contention counter.
+            pdc_trace::counter("shmem", "ticketlock_contended", 1);
+        }
         TicketLockGuard { lock: self }
     }
 

@@ -75,6 +75,8 @@ impl Team {
         F: Fn(&ThreadCtx) -> T + Sync,
         T: Send,
     {
+        let mut region = pdc_trace::span("shmem", "parallel");
+        region.arg("threads", self.num_threads);
         let shared = RegionShared {
             barrier: self.barrier_kind.build(self.num_threads),
             criticals: CriticalRegistry::default(),
@@ -86,12 +88,20 @@ impl Team {
                 let shared = &shared;
                 let body = &body;
                 handles.push(s.spawn(move || {
+                    let mut worker = pdc_trace::span("shmem", "worker");
+                    worker.arg("thread", id);
                     let ctx = ThreadCtx {
                         id,
                         num_threads: shared.barrier.members(),
                         shared,
                     };
                     *slot = Some(body(&ctx));
+                    // Close the span, then hand the thread's buffered
+                    // events to the registry: a scoped join only waits
+                    // for this closure, not for TLS destructors, so a
+                    // drop-time flush could race a post-join drain().
+                    drop(worker);
+                    pdc_trace::flush_thread();
                 }));
             }
             for h in handles {
@@ -102,6 +112,7 @@ impl Team {
                 }
             }
         });
+        pdc_trace::counter("shmem", "parallel_regions", 1);
         results
             .into_iter()
             .map(|r| r.expect("every team thread produced a result"))
@@ -169,7 +180,13 @@ impl ThreadCtx<'_> {
 
     /// Wait until every team thread reaches this barrier
     /// (`#pragma omp barrier`). Returns `true` on exactly one thread.
+    ///
+    /// With tracing enabled, each thread records one `barrier_wait` span
+    /// covering its arrival-to-release interval; the summary exporter
+    /// turns those into the per-barrier wait-time histogram.
     pub fn barrier(&self) -> bool {
+        let mut wait = pdc_trace::span("shmem", "barrier_wait");
+        wait.arg("thread", self.id);
         self.shared.barrier.wait()
     }
 

@@ -1,6 +1,8 @@
 //! The instructor's view of a self-paced session: simulate the 22-person
 //! cohort working through Module A asynchronously, then print the
-//! analytics an instructor would scan after the lab.
+//! analytics an instructor would scan after the lab — plus the runtime
+//! metrics of the module's own parallel workload, so "how the class did"
+//! and "how the code ran" sit on one dashboard.
 //!
 //! ```text
 //! cargo run --example instructor_dashboard
@@ -8,6 +10,7 @@
 
 use pdc_core::module_a;
 use pdc_core::simulate::simulate_module_a_session;
+use pdc_shmem::{parallel_reduce, Schedule, Team};
 
 fn main() {
     let report = simulate_module_a_session(2020);
@@ -29,8 +32,34 @@ fn main() {
         .map(|st| st.activity_id)
         .collect();
     println!("\nactivities solved first-try by nearly everyone: {easy:?}");
+
+    // Runtime metrics: trace the module's closing workload (the pi
+    // integration the learners benchmark) and the 4-rank broadcast from
+    // Module B's warm-up, then print the tracer's summary table.
+    let ((), events) = pdc_trace::with_tracing(|| {
+        let team = Team::new(4);
+        let n = 200_000;
+        let sum = parallel_reduce(
+            &team,
+            0..n,
+            Schedule::default(),
+            0.0f64,
+            |i| {
+                let x = (i as f64 + 0.5) / n as f64;
+                4.0 / (1.0 + x * x)
+            },
+            |a, b| a + b,
+        );
+        let _pi = sum / n as f64;
+        let _ = pdc_mpc::World::new(4).run(|c| {
+            c.bcast(0, (c.rank() == 0).then_some("hello".to_owned()))
+                .unwrap()
+        });
+    });
+    println!("\nruntime metrics for the module's parallel workload:");
+    println!("{}", pdc_trace::export::summary(&events));
     println!(
-        "\n(seeded simulation over the real cohort and module content — a fixture\n\
+        "(seeded simulation over the real cohort and module content — a fixture\n\
          generator for the analytics, not a claim about real learners)"
     );
 }

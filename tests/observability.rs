@@ -1,0 +1,167 @@
+//! Cross-runtime invariants of the pdc-trace observability layer.
+//!
+//! The tracer's enable flag and registry are process-global, so every
+//! test here serializes on one mutex — they all live in this one
+//! integration binary for exactly that reason.
+
+use std::sync::Mutex;
+
+use pdc_mpc::World;
+use pdc_shmem::{parallel_for, Schedule, Team};
+use pdc_trace::{ArgValue, EventKind};
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Sum of the `bytes` args on all spans with the given name.
+fn span_bytes(events: &[pdc_trace::Event], name: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Span { .. }) && e.name == name)
+        .filter_map(|e| {
+            e.args.iter().find_map(|(k, v)| match (k, v) {
+                (&"bytes", ArgValue::U64(b)) => Some(*b),
+                _ => None,
+            })
+        })
+        .sum()
+}
+
+#[test]
+fn barrier_wait_events_are_threads_times_barriers() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    const THREADS: usize = 4;
+    const BARRIERS: usize = 5;
+    let ((), events) = pdc_trace::with_tracing(|| {
+        let team = Team::new(THREADS);
+        team.parallel(|ctx| {
+            for _ in 0..BARRIERS {
+                ctx.barrier();
+            }
+        });
+    });
+    let waits = events
+        .iter()
+        .filter(|e| e.category == "shmem" && e.name == "barrier_wait")
+        .count();
+    assert_eq!(
+        waits,
+        THREADS * BARRIERS,
+        "each thread records one barrier_wait span per crossing"
+    );
+    // Every wait is a span with a duration and a thread arg.
+    for e in events.iter().filter(|e| e.name == "barrier_wait") {
+        assert!(matches!(e.kind, EventKind::Span { .. }));
+        assert!(e.args.iter().any(|(k, _)| *k == "thread"));
+    }
+}
+
+#[test]
+fn traffic_spans_reconcile_with_traffic_matrix() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let ((_, matrix), events) = pdc_trace::with_tracing(|| {
+        World::new(4).run_traced(|c| {
+            // A ring exchange plus a collective, so both the user path
+            // and the internal reserved-tag path carry traffic.
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 0, &vec![c.rank(); 8]).unwrap();
+            let _: Vec<usize> = c.recv(prev, 0).unwrap();
+            c.allreduce(c.rank() as u64, |a, b| a + b).unwrap()
+        })
+    });
+
+    let send_spans = events
+        .iter()
+        .filter(|e| e.category == "mpc" && e.name == "send")
+        .count() as u64;
+    assert_eq!(
+        send_spans,
+        matrix.total_messages(),
+        "every message the matrix counted has exactly one send span"
+    );
+    assert_eq!(
+        span_bytes(&events, "send"),
+        matrix.total_bytes(),
+        "send-span byte args sum to the matrix's byte total"
+    );
+    // Every byte sent was received: recv spans reconcile too.
+    assert_eq!(span_bytes(&events, "recv"), matrix.total_bytes());
+}
+
+#[test]
+fn disabled_tracer_records_no_events() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    pdc_trace::reset();
+    pdc_trace::disable();
+
+    // Exercise both runtimes' instrumented paths with tracing off.
+    let team = Team::new(3);
+    let hits = std::sync::atomic::AtomicUsize::new(0);
+    parallel_for(&team, 0..64, Schedule::Dynamic { chunk: 4 }, |_, _| {
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    });
+    assert_eq!(hits.into_inner(), 64);
+    team.parallel(|ctx| {
+        ctx.barrier();
+    });
+    let _ = World::new(3).run(|c| c.allgather(c.rank()).unwrap());
+
+    assert!(
+        pdc_trace::drain().is_empty(),
+        "disabled tracer must record nothing"
+    );
+}
+
+#[test]
+fn chunk_events_cover_the_range_once_per_schedule() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    for schedule in [
+        Schedule::Static { chunk: Some(7) },
+        Schedule::Dynamic { chunk: 5 },
+        Schedule::Guided { min_chunk: 2 },
+    ] {
+        let ((), events) = pdc_trace::with_tracing(|| {
+            let team = Team::new(3);
+            parallel_for(&team, 0..100, schedule, |_, _| {});
+        });
+        let mut covered = 0usize;
+        for e in events.iter().filter(|e| e.name == "chunk") {
+            let get = |key: &str| {
+                e.args.iter().find_map(|(k, v)| match v {
+                    ArgValue::U64(n) if *k == key => Some(*n as usize),
+                    _ => None,
+                })
+            };
+            covered += get("len").expect("chunk has len");
+            let label = e
+                .args
+                .iter()
+                .find_map(|(k, v)| match v {
+                    ArgValue::Str(s) if *k == "schedule" => Some(*s),
+                    _ => None,
+                })
+                .expect("chunk is keyed by schedule");
+            assert_eq!(label, schedule.kind_label());
+        }
+        assert_eq!(covered, 100, "chunk events tile the range ({schedule:?})");
+    }
+}
+
+#[test]
+fn chrome_export_of_a_mixed_run_is_valid_json() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    let ((), events) = pdc_trace::with_tracing(|| {
+        let team = Team::new(2);
+        team.parallel(|ctx| {
+            ctx.barrier();
+        });
+        let _ = World::new(2).run(|c| c.bcast(0, (c.rank() == 0).then_some(1u8)).unwrap());
+    });
+    let chrome = pdc_trace::export::chrome_trace(&events);
+    let parsed: serde_json::Value = serde_json::from_str(&chrome).expect("valid JSON");
+    let entries = parsed.as_array().expect("chrome trace is a JSON array");
+    assert!(entries
+        .iter()
+        .any(|e| e["cat"] == "shmem" && e["ph"] == "X"));
+    assert!(entries.iter().any(|e| e["cat"] == "mpc" && e["ph"] == "X"));
+}

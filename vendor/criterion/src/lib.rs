@@ -1,0 +1,281 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the calling surface the workspace's benches use
+//! (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`) over a simple wall-clock sampler: per bench it warms up,
+//! then takes `sample_size` samples and reports the median per-iteration
+//! time. No statistics engine, no HTML reports — but relative
+//! comparisons (e.g. tracing-enabled vs disabled ablations) remain
+//! meaningful because both sides go through the same sampler.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median per-iteration nanoseconds, filled by `iter`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, measuring the
+        // routine's rough cost to size the sample batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.config.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time.as_secs_f64();
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).ceil() as u64).max(1);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            sample_ns.push(elapsed / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = Some(sample_ns[sample_ns.len() / 2]);
+    }
+
+    pub fn iter_with_large_drop<R, F: FnMut() -> R>(&mut self, routine: F) {
+        self.iter(routine);
+    }
+}
+
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+pub struct Criterion {
+    config: Config,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: Config {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(300),
+                measurement_time: Duration::from_millis(500),
+                filter: None,
+            },
+            results: Vec::new(),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Reads an optional substring filter from the command line,
+    /// ignoring flags (arguments starting with `-`) and the flag values
+    /// cargo-bench passes along.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut filter = None;
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if arg.starts_with("--") {
+                // Skip `--flag value` style options.
+                if !arg.contains('=') {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            if arg.starts_with('-') {
+                continue;
+            }
+            filter = Some(arg);
+            break;
+        }
+        self.config.filter = filter;
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.config.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: &self.config,
+            result_ns: None,
+        };
+        f(&mut bencher);
+        let ns = bencher.result_ns.unwrap_or(f64::NAN);
+        println!("{id:<60} time: [{}]", format_ns(ns));
+        self.results.push((id, ns));
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Per-bench median nanoseconds recorded so far, keyed by full id.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    pub fn final_summary(&mut self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\nsummary ({} benchmarks):", self.results.len());
+        for (id, ns) in &self.results {
+            println!("  {id:<58} {}", format_ns(*ns));
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.criterion.run_one(full, |b| f(b, input));
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_a_result() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].1 > 0.0);
+    }
+
+    #[test]
+    fn group_names_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(c.results()[0].0, "grp/4");
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace vendors a value-based `serde` facade (see
+//! `vendor/serde`): `Serialize` lowers a type to `serde::Value` and
+//! `Deserialize` lifts it back. This proc-macro derives both for the
+//! shapes the workspace actually uses — named/tuple/unit structs and
+//! enums with unit, newtype, tuple, and struct variants — by parsing the
+//! item's token stream directly (no `syn`/`quote`, which are not
+//! available offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes we can derive for.
+enum Shape {
+    UnitStruct,
+    /// Tuple struct with `n` fields (n == 1 is serde's newtype case).
+    TupleStruct(usize),
+    /// Struct with named fields, in declaration order.
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let body = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    body.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the `struct`/`enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => id.to_string(),
+        other => return Err(format!("derive: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive: expected item name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive: generic type `{name}` is not supported by the vendored serde_derive"
+            ));
+        }
+    }
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => return Err(format!("derive: unexpected struct body {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("derive: unexpected enum body {other:?}")),
+        }
+    };
+    Ok((name, shape))
+}
+
+/// Parse `field: Type, ...` (with optional attributes/visibility),
+/// returning the field names in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("derive: expected `:` after field, got {other:?}")),
+        }
+        // Skip the type: advance to the next top-level `,` (angle-depth 0).
+        let mut angle: i64 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Count comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i64 = 0;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (e.g. doc comments, #[default]).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert({vn:?}.to_string(), {inner}); \
+                             ::serde::Value::Object(__m) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("{ let mut __fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fm.insert({f:?}.to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(__fm) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert({vn:?}.to_string(), {inner}); \
+                             ::serde::Value::Object(__m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match __v {{ ::serde::Value::Null => Ok({name}), \
+             _ => Err(::serde::Error::custom(format!(\"expected null for unit struct {name}\"))) }}"
+        ),
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_json_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "{{ let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}\")))?;\n\
+                 if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __a.len()))); }}\n\
+                 Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "{{ let __m = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}\")))?;\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "let {f} = ::serde::Deserialize::from_json_value(\
+                     __m.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?;\n"
+                ));
+            }
+            s.push_str(&format!("Ok({name} {{ {} }}) }}", fields.join(", ")));
+            s
+        }
+        Shape::Enum(variants) => {
+            // Externally tagged: "Variant" for unit; {"Variant": payload}
+            // for data-carrying variants.
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("{vn:?} => return Ok({name}::{vn}),\n"));
+                    }
+                    VariantFields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_json_value(__payload)?)),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_json_value(&__a[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{ let __a = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array payload\".to_string()))?;\n\
+                             if __a.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong tuple arity\".to_string())); }}\n\
+                             return Ok({name}::{vn}({})); }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from(
+                            "{ let __fm = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object payload\".to_string()))?;\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "let {f} = ::serde::Deserialize::from_json_value(\
+                                 __fm.get({f:?}).unwrap_or(&::serde::Value::Null))?;\n"
+                            ));
+                        }
+                        inner.push_str(&format!(
+                            "return Ok({name}::{vn} {{ {} }}); }}",
+                            fields.join(", ")
+                        ));
+                        data_arms.push_str(&format!("{vn:?} => {inner},\n"));
+                    }
+                }
+            }
+            format!(
+                "{{ if let ::serde::Value::String(__s) = __v {{\n\
+                     match __s.as_str() {{\n{unit_arms}\
+                     _ => return Err(::serde::Error::custom(format!(\
+                        \"unknown {name} variant {{__s}}\"))), }}\n\
+                 }}\n\
+                 if let Some(__m) = __v.as_object() {{\n\
+                    if __m.len() == 1 {{\n\
+                        let (__tag, __payload) = __m.iter().next().expect(\"len 1\");\n\
+                        match __tag.as_str() {{\n{data_arms}\
+                        _ => return Err(::serde::Error::custom(format!(\
+                            \"unknown {name} variant {{__tag}}\"))), }}\n\
+                    }}\n\
+                 }}\n\
+                 Err(::serde::Error::custom(format!(\"cannot deserialize {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
