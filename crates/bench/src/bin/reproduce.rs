@@ -5,6 +5,7 @@
 //! reproduce fig3               # print one
 //! reproduce --list             # list experiment ids
 //! reproduce --trace trace.json # run traced; write a Chrome trace
+//! reproduce --chaos 2020       # run the chaos study under seed 2020
 //! ```
 //!
 //! With `--trace <path>` the runtimes' tracer is enabled for the run:
@@ -13,6 +14,14 @@
 //! `.jsonl`; a plain-text metric summary is printed after the
 //! experiments; and machine-readable per-experiment timings go to
 //! `artifacts/BENCH_trace.json`.
+//!
+//! With `--chaos <seed>` the Module B studies run under the canonical
+//! fault plans (seeded drops, a straggler, a mid-run crash) with the
+//! recoverable runners, and the fault/recovery ledger is written to
+//! `artifacts/BENCH_chaos.json` — a deterministic artifact for a fixed
+//! seed. The exit status is nonzero if any recoverable fault went
+//! unrecovered. Combine with `--trace` to reconcile the ledger against
+//! the tracer's `chaos/...` counters.
 
 use std::time::Instant;
 
@@ -21,6 +30,7 @@ use pdc_core::experiments;
 struct Cli {
     list: bool,
     trace: Option<String>,
+    chaos: Option<u64>,
     id: Option<String>,
 }
 
@@ -28,6 +38,7 @@ fn parse_args() -> Cli {
     let mut cli = Cli {
         list: false,
         trace: None,
+        chaos: None,
         id: None,
     };
     let mut args = std::env::args().skip(1);
@@ -38,6 +49,13 @@ fn parse_args() -> Cli {
                 Some(path) => cli.trace = Some(path),
                 None => {
                     eprintln!("--trace requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--chaos" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => cli.chaos = Some(seed),
+                None => {
+                    eprintln!("--chaos requires a numeric seed argument");
                     std::process::exit(2);
                 }
             },
@@ -63,26 +81,42 @@ fn main() {
 
     // (experiment id, wall seconds) for the machine-readable report.
     let mut timings: Vec<(String, f64)> = Vec::new();
-    match cli.id.as_deref() {
-        Some(id) => {
-            let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
-                eprintln!("unknown experiment '{id}'; try --list");
-                std::process::exit(2);
-            };
-            let start = Instant::now();
-            let output = (exp.run)();
-            timings.push((exp.id.to_owned(), start.elapsed().as_secs_f64()));
-            println!("{output}");
-        }
-        None => {
-            for e in experiments::all() {
-                println!("================================================================");
-                println!("{} — {}", e.id, e.title);
-                println!("================================================================");
+    let mut chaos_failed = false;
+    if let Some(seed) = cli.chaos {
+        let start = Instant::now();
+        let report = pdc_core::chaos::module_b_chaos_study(seed, pdc_core::study::Scale::Quick);
+        timings.push(("moduleB-chaos".to_owned(), start.elapsed().as_secs_f64()));
+        println!("{}", report.render());
+        std::fs::create_dir_all("artifacts")
+            .and_then(|()| std::fs::write("artifacts/BENCH_chaos.json", report.to_json()))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write artifacts/BENCH_chaos.json: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote artifacts/BENCH_chaos.json");
+        chaos_failed = !report.all_recovered();
+    } else {
+        match cli.id.as_deref() {
+            Some(id) => {
+                let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
+                    eprintln!("unknown experiment '{id}'; try --list");
+                    std::process::exit(2);
+                };
                 let start = Instant::now();
-                let output = (e.run)();
-                timings.push((e.id.to_owned(), start.elapsed().as_secs_f64()));
+                let output = (exp.run)();
+                timings.push((exp.id.to_owned(), start.elapsed().as_secs_f64()));
                 println!("{output}");
+            }
+            None => {
+                for e in experiments::all() {
+                    println!("================================================================");
+                    println!("{} — {}", e.id, e.title);
+                    println!("================================================================");
+                    let start = Instant::now();
+                    let output = (e.run)();
+                    timings.push((e.id.to_owned(), start.elapsed().as_secs_f64()));
+                    println!("{output}");
+                }
             }
         }
     }
@@ -109,6 +143,11 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote artifacts/BENCH_trace.json");
+    }
+
+    if chaos_failed {
+        eprintln!("chaos study: unrecovered faults (see artifacts/BENCH_chaos.json)");
+        std::process::exit(1);
     }
 }
 

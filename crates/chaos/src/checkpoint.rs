@@ -1,0 +1,106 @@
+//! In-memory checkpoint store for restartable studies.
+//!
+//! Checkpoints are keyed by string and hold serde_json-encoded values,
+//! so any serializable intermediate result (a completed trial, a scored
+//! ligand batch) can be parked across a crash/restart boundary. The
+//! store is `Arc`-shared: the driver owns it, every restart attempt
+//! sees what earlier attempts saved.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::injector::FaultLog;
+
+/// Shared, thread-safe checkpoint store.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    slots: Arc<Mutex<HashMap<String, String>>>,
+    log: Arc<FaultLog>,
+}
+
+impl CheckpointStore {
+    /// New empty store reporting into `log`.
+    pub fn new(log: Arc<FaultLog>) -> Self {
+        Self {
+            slots: Arc::new(Mutex::new(HashMap::new())),
+            log,
+        }
+    }
+
+    /// Save a checkpoint (overwrites an existing key).
+    pub fn save<T: Serialize>(&self, key: &str, value: &T) {
+        let json = serde_json::to_string(value).expect("checkpoint value serializes");
+        self.slots.lock().insert(key.to_string(), json);
+        self.log.checkpoint_saved();
+    }
+
+    /// Load a checkpoint if present, counting a restore when it is.
+    pub fn load<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let json = self.slots.lock().get(key).cloned()?;
+        let value = serde_json::from_str(&json).ok()?;
+        self.log.checkpoint_restored();
+        Some(value)
+    }
+
+    /// Read a checkpoint *without* counting a restore — for final
+    /// assembly of results, where reading back is bookkeeping rather
+    /// than recovered work.
+    pub fn peek<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let json = self.slots.lock().get(key).cloned()?;
+        serde_json::from_str(&json).ok()
+    }
+
+    /// True if a checkpoint exists for `key` (no restore is counted).
+    pub fn contains(&self, key: &str) -> bool {
+        self.slots.lock().contains_key(key)
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True when nothing has been checkpointed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_round_trip_counts() {
+        let log = Arc::new(FaultLog::default());
+        let store = CheckpointStore::new(Arc::clone(&log));
+        assert!(store.is_empty());
+        store.save("trial/0", &vec![1.0f64, 2.0]);
+        assert!(store.contains("trial/0"));
+        assert_eq!(store.len(), 1);
+        let back: Vec<f64> = store.load("trial/0").unwrap();
+        assert_eq!(back, vec![1.0, 2.0]);
+        let s = log.stats();
+        assert_eq!((s.checkpoints_saved, s.checkpoints_restored), (1, 1));
+    }
+
+    #[test]
+    fn missing_key_is_none_and_uncounted() {
+        let log = Arc::new(FaultLog::default());
+        let store = CheckpointStore::new(Arc::clone(&log));
+        assert_eq!(store.load::<u32>("nope"), None);
+        assert_eq!(log.stats().checkpoints_restored, 0);
+    }
+
+    #[test]
+    fn clones_share_slots() {
+        let store = CheckpointStore::new(Arc::new(FaultLog::default()));
+        let other = store.clone();
+        store.save("k", &7u32);
+        assert_eq!(other.load::<u32>("k"), Some(7));
+    }
+}

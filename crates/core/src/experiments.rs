@@ -104,6 +104,11 @@ pub fn all() -> Vec<Experiment> {
                     .join("\n")
             },
         },
+        Experiment {
+            id: "moduleB-chaos",
+            title: "Module B studies under injected faults (recoverable, degraded-but-valid)",
+            run: || crate::chaos::module_b_chaos_study(2020, Scale::Quick).render(),
+        },
     ]
 }
 

@@ -1,5 +1,5 @@
 //! Module A: "OpenMP on the Raspberry Pi" — the Runestone virtual
-//! handout (paper reference [13], §III-A).
+//! handout (paper reference \[13\], §III-A).
 //!
 //! Structure follows the paper's description: a self-paced 2-hour module
 //! whose "first half hour presents an overview of processes, threads and

@@ -1,5 +1,5 @@
 //! Module B: "MPI & Distributed Cluster Computing" — the Colab notebook
-//! of mpi4py patternlets (paper reference [14], §III-B; Figure 2) plus
+//! of mpi4py patternlets (paper reference \[14\], §III-B; Figure 2) plus
 //! the second-hour exemplar session on a cluster platform.
 
 use pdc_courseware::notebook::{Notebook, NotebookRuntime};

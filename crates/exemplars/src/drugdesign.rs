@@ -10,12 +10,19 @@
 //! scheduling** (shared memory) and **master-worker dealing** (message
 //! passing).
 
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use pdc_mpc::{Source, TagSel, World};
+use pdc_chaos::ChaosContext;
+use pdc_mpc::{Comm, MpcError, Source, TagSel, World};
 use pdc_shmem::{parallel_for, Schedule, Team};
+
+use crate::recovery::RecoveredRun;
 
 /// Alphabet the generator draws from (as in the CSinParallel original).
 const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
@@ -248,6 +255,243 @@ pub fn run_mpc(config: &DrugConfig, np: usize) -> DrugResult {
     results.into_iter().next().expect("at least one rank")
 }
 
+/// Checkpoint key for ligand index `i`.
+fn drug_key(i: usize) -> String {
+    format!("drug/{i}")
+}
+
+/// Chaos-hardened master-worker run: [`run_mpc`] rebuilt to survive the
+/// fault plan armed in `ctx`.
+///
+/// Recovery is *in-run* for worker failures: the master tracks which
+/// ligand indices are outstanding on which worker, and when a worker's
+/// crash schedule fires it reassigns the stranded tasks to the
+/// survivors (or scores them itself if no worker is left). All
+/// protocol messages ride [`Comm::send_reliable`], so dropped deals and
+/// results are retransmitted; the master deduplicates results by ligand
+/// index, since at-least-once delivery may duplicate them. Scores are
+/// checkpointed as they arrive — if the *master* dies, the driver
+/// relaunches the world and the restart resumes from the checkpoints.
+/// The finale is ULFM-style: survivors [`Comm::shrink`] past the dead
+/// ranks and the result is broadcast over the shrunken communicator.
+/// The returned value is bit-identical to [`run_seq`].
+pub fn run_mpc_recoverable(
+    config: &DrugConfig,
+    np: usize,
+    ctx: &ChaosContext,
+) -> RecoveredRun<DrugResult> {
+    assert!(np >= 1);
+    if np == 1 {
+        let value = run_seq(config);
+        let stats = ctx.stats();
+        return RecoveredRun {
+            value,
+            degraded: stats.any_injected(),
+            attempts: 1,
+            survivors: 1,
+            world_size: 1,
+        };
+    }
+    let ligands = make_ligands(config);
+    let log = ctx.injector.log();
+    // One restart per scheduled crash, plus one slack attempt.
+    let max_attempts = ctx.plan().crashes.len() as u32 + 2;
+    let mut attempts = 0u32;
+    let mut value: Option<DrugResult> = None;
+    while attempts < max_attempts && value.is_none() {
+        attempts += 1;
+        let outs = World::new(np)
+            .with_fault_injector(Arc::clone(&ctx.injector))
+            .with_retry_policy(ctx.retry)
+            .run(|comm| drug_attempt(config, &ligands, ctx, &comm));
+        value = outs.into_iter().flatten().next();
+    }
+    // Ultimate fallback: finish sequentially from the checkpoints. The
+    // result is still exact — checkpointed scores are reused, missing
+    // ones recomputed.
+    let value = value.unwrap_or_else(|| {
+        let scored = ligands
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let s = ctx
+                    .checkpoints
+                    .peek::<usize>(&drug_key(i))
+                    .unwrap_or_else(|| score(l, &config.protein));
+                (s, l.clone())
+            })
+            .collect();
+        collect_best(scored)
+    });
+    // The run completed despite every crash that fired: mark them
+    // recovered so the ledger reconciles (recovered == recoverable).
+    let s = log.stats();
+    for _ in s.crashes_recovered..s.crashes {
+        log.crash_recovered();
+    }
+    let stats = ctx.stats();
+    RecoveredRun {
+        value,
+        degraded: stats.any_injected(),
+        attempts,
+        survivors: np.saturating_sub(stats.crashes as usize),
+        world_size: np,
+    }
+}
+
+/// One world launch of the recoverable master-worker run. The master
+/// always produces `Some(result)` once every ligand is scored; workers
+/// return what the shrunken broadcast hands them, or `None` if they
+/// crashed or lost the master.
+fn drug_attempt(
+    config: &DrugConfig,
+    ligands: &[String],
+    ctx: &ChaosContext,
+    comm: &Comm,
+) -> Option<DrugResult> {
+    const TAG_READY: i32 = 0;
+    const TAG_TASK: i32 = 1;
+    const TAG_RESULT: i32 = 2;
+    let store = &ctx.checkpoints;
+    let n = ligands.len();
+    if comm.rank() == 0 {
+        // Resume from whatever earlier attempts checkpointed (`load`
+        // counts the skipped work as restored).
+        let mut scores: Vec<Option<usize>> =
+            (0..n).map(|i| store.load::<usize>(&drug_key(i))).collect();
+        let mut pending: VecDeque<usize> = (0..n).filter(|&i| scores[i].is_none()).collect();
+        let mut outstanding: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut idle: VecDeque<usize> = VecDeque::new();
+        while scores.iter().any(Option::is_none) {
+            // Reassign tasks stranded on dead workers.
+            for w in 1..comm.size() {
+                if !comm.is_alive(w) {
+                    idle.retain(|&x| x != w);
+                    for i in outstanding.remove(&w).unwrap_or_default() {
+                        if scores[i].is_none() && !pending.contains(&i) {
+                            pending.push_front(i);
+                        }
+                    }
+                }
+            }
+            // Deal work to idle workers.
+            while !pending.is_empty() && !idle.is_empty() {
+                let w = idle.pop_front().expect("checked non-empty");
+                if !comm.is_alive(w) {
+                    continue;
+                }
+                let i = pending.pop_front().expect("checked non-empty");
+                match comm.send_reliable(w, TAG_TASK, &(i as i64)) {
+                    Ok(()) => outstanding.entry(w).or_default().push(i),
+                    Err(_) => pending.push_front(i), // next sweep reassigns
+                }
+            }
+            // Every worker dead? Score the remainder inline: the study
+            // still completes, just without parallel help.
+            if (1..comm.size()).all(|w| !comm.is_alive(w)) {
+                for i in 0..n {
+                    if scores[i].is_none() {
+                        let s = score(&ligands[i], &config.protein);
+                        store.save(&drug_key(i), &s);
+                        scores[i] = Some(s);
+                    }
+                }
+                break;
+            }
+            match comm.recv_timeout::<WorkerMsg>(
+                Source::Any,
+                TagSel::Any,
+                Duration::from_millis(100),
+            ) {
+                Ok((WorkerMsg::Ready, st)) => {
+                    if !idle.contains(&st.source) {
+                        idle.push_back(st.source);
+                    }
+                }
+                Ok((WorkerMsg::Result { index, score: s }, st)) => {
+                    if let Some(mine) = outstanding.get_mut(&st.source) {
+                        mine.retain(|&x| x != index);
+                    }
+                    // Dedup by index: at-least-once delivery may repeat.
+                    if index < n && scores[index].is_none() {
+                        store.save(&drug_key(index), &s);
+                        scores[index] = Some(s);
+                    }
+                }
+                Err(_) => {} // timeout: loop re-checks liveness
+            }
+        }
+        // Dismiss every surviving worker. Workers re-send Ready while
+        // undealt, so each one surfaces here within its poll interval.
+        let mut dismissed: HashSet<usize> = HashSet::new();
+        let mut patience = 0u32;
+        loop {
+            let all_dismissed = (1..comm.size())
+                .filter(|&w| comm.is_alive(w))
+                .all(|w| dismissed.contains(&w));
+            if all_dismissed {
+                break;
+            }
+            match comm.recv_timeout::<WorkerMsg>(
+                Source::Any,
+                TagSel::Tag(TAG_READY),
+                Duration::from_millis(500),
+            ) {
+                Ok((_, st)) => {
+                    if dismissed.insert(st.source) {
+                        let _ = comm.send_reliable(st.source, TAG_TASK, &-1i64);
+                    }
+                }
+                Err(_) => {
+                    patience += 1;
+                    if patience > 40 {
+                        break; // ~20 s of silence: give up waiting
+                    }
+                }
+            }
+        }
+        let result = collect_best(
+            scores
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.expect("all scored"), ligands[i].clone()))
+                .collect(),
+        );
+        // ULFM finale: continue degraded on the shrunken communicator.
+        if let Ok(alive) = comm.shrink() {
+            let _ = alive.bcast(0, Some(result.clone()));
+        }
+        Some(result)
+    } else {
+        loop {
+            if comm.send_reliable(0, TAG_READY, &WorkerMsg::Ready).is_err() {
+                return None; // master gone: the driver restarts
+            }
+            match comm.recv_timeout::<i64>(0, TAG_TASK, Duration::from_millis(500)) {
+                Ok((idx, _)) if idx < 0 => break,
+                Ok((idx, _)) => {
+                    if comm.chaos_step().is_err() {
+                        return None; // crash schedule fired: unwind
+                    }
+                    let i = idx as usize;
+                    let s = score(&ligands[i], &config.protein);
+                    if comm
+                        .send_reliable(0, TAG_RESULT, &WorkerMsg::Result { index: i, score: s })
+                        .is_err()
+                    {
+                        return None;
+                    }
+                }
+                // A dropped deal: announce readiness again and keep
+                // polling — the master deduplicates extra Readys.
+                Err(MpcError::Timeout { .. }) => continue,
+                Err(_) => return None,
+            }
+        }
+        comm.shrink().ok()?.bcast::<DrugResult>(0, None).ok()
+    }
+}
+
 /// Worker-to-master protocol messages.
 #[derive(Debug, Serialize, Deserialize)]
 enum WorkerMsg {
@@ -356,5 +600,55 @@ mod tests {
         let r = run_seq(&config);
         assert_eq!(r.best_ligands.len(), 1);
         assert_eq!(run_mpc(&config, 3), r);
+    }
+
+    #[test]
+    fn recoverable_matches_seq_without_faults() {
+        let config = DrugConfig {
+            num_ligands: 30,
+            ..DrugConfig::default()
+        };
+        let ctx = ChaosContext::new(pdc_chaos::FaultPlan::new(5));
+        let run = run_mpc_recoverable(&config, 3, &ctx);
+        assert_eq!(run.value, run_seq(&config));
+        assert!(!run.degraded);
+        assert_eq!(run.attempts, 1);
+        assert_eq!(run.survivors, 3);
+    }
+
+    #[test]
+    fn recoverable_survives_worker_crash_in_run() {
+        let config = DrugConfig {
+            num_ligands: 40,
+            ..DrugConfig::default()
+        };
+        // Rank 2 dies after its third scored task; rank 1 runs slow.
+        let plan = pdc_chaos::FaultPlan::new(77)
+            .with_crash(2, 2)
+            .with_straggler(1, 1);
+        let ctx = ChaosContext::new(plan);
+        let run = run_mpc_recoverable(&config, 4, &ctx);
+        assert_eq!(run.value, run_seq(&config), "recovery must be exact");
+        assert!(run.degraded);
+        assert_eq!(run.attempts, 1, "worker crash is recovered in-run");
+        assert_eq!(run.survivors, 3);
+        let s = ctx.stats();
+        assert_eq!(s.crashes, 1, "scheduled crash fired");
+        assert!(s.all_recovered(), "{s:?}");
+        assert!(s.shrinks >= 1, "survivors shrank past the dead rank");
+    }
+
+    #[test]
+    fn recoverable_survives_dropped_protocol_messages() {
+        let config = DrugConfig {
+            num_ligands: 25,
+            ..DrugConfig::default()
+        };
+        let plan = pdc_chaos::FaultPlan::new(13).with_drop_rate(0.3);
+        let ctx = ChaosContext::new(plan);
+        let run = run_mpc_recoverable(&config, 3, &ctx);
+        assert_eq!(run.value, run_seq(&config));
+        let s = ctx.stats();
+        assert!(s.all_recovered(), "{s:?}");
     }
 }

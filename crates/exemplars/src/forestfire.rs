@@ -9,12 +9,18 @@
 //! probability — the series the module has learners plot and then
 //! parallelize.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use pdc_mpc::World;
+use pdc_chaos::ChaosContext;
+use pdc_mpc::{Comm, MpcError, Source, World};
 use pdc_shmem::{parallel_for, Schedule, Team};
+
+use crate::recovery::RecoveredRun;
 
 /// Cell states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -225,6 +231,183 @@ pub fn run_mpc(config: &FireConfig, np: usize) -> Vec<FirePoint> {
     results.into_iter().next().expect("at least one rank")
 }
 
+/// Tag recoverable workers use to report `(flat trial index, result)`.
+const TAG_FIRE_RESULT: i32 = 5;
+
+/// Checkpoint key for flat trial index `k`.
+fn fire_key(k: usize) -> String {
+    format!("fire/{k}")
+}
+
+/// Chaos-hardened message-passing sweep: [`run_mpc`] rebuilt to survive
+/// the fault plan armed in `ctx`.
+///
+/// Trials keep the same round-robin ownership as `run_mpc`, but every
+/// completed trial is checkpointed on rank 0 the moment it exists:
+/// workers push `(k, result)` to rank 0 with [`Comm::send_reliable`]
+/// (at-least-once beats the lossy user plane), and rank 0 banks its own
+/// trials directly. A rank whose crash schedule fires unwinds
+/// cooperatively; the driver relaunches the world — *sharing the same
+/// injector*, so consumed crash points stay consumed — and the restart
+/// skips everything already checkpointed. Trials a dead rank never
+/// finished are recomputed inline at the end, so the sweep always
+/// completes and the output is bit-identical to [`run_seq`].
+pub fn run_mpc_recoverable(
+    config: &FireConfig,
+    np: usize,
+    ctx: &ChaosContext,
+) -> RecoveredRun<Vec<FirePoint>> {
+    assert!(np >= 1);
+    let total = config.probabilities.len() * config.trials;
+    let store = &ctx.checkpoints;
+    let log = ctx.injector.log();
+    // One restart per scheduled crash, plus one slack attempt.
+    let max_attempts = ctx.plan().crashes.len() as u32 + 2;
+    let mut attempts = 0u32;
+    while attempts < max_attempts && !(0..total).all(|k| store.contains(&fire_key(k))) {
+        attempts += 1;
+        World::new(np)
+            .with_fault_injector(Arc::clone(&ctx.injector))
+            .with_retry_policy(ctx.retry)
+            .run(|comm| fire_attempt(config, ctx, &comm));
+    }
+    // Trials still missing (owned by a rank that died in the final
+    // attempt) are recomputed inline: degraded, but the sweep completes
+    // with full, bit-identical data.
+    for k in 0..total {
+        if !store.contains(&fire_key(k)) {
+            let (pi, t) = (k / config.trials, k % config.trials);
+            store.save(
+                &fire_key(k),
+                &simulate_fire(
+                    config.size,
+                    config.probabilities[pi],
+                    trial_seed(config.seed, pi, t),
+                ),
+            );
+        }
+    }
+    // The sweep completed despite every crash that fired: mark them
+    // recovered so the ledger reconciles (recovered == recoverable).
+    let s = log.stats();
+    for _ in s.crashes_recovered..s.crashes {
+        log.crash_recovered();
+    }
+    let value = config
+        .probabilities
+        .iter()
+        .enumerate()
+        .map(|(pi, &prob)| {
+            let trials: Vec<TrialResult> = (0..config.trials)
+                .map(|t| {
+                    store
+                        .peek(&fire_key(pi * config.trials + t))
+                        .expect("all trials checkpointed")
+                })
+                .collect();
+            average(prob, &trials)
+        })
+        .collect();
+    let stats = ctx.stats();
+    RecoveredRun {
+        value,
+        degraded: stats.any_injected(),
+        attempts,
+        survivors: np.saturating_sub(stats.crashes as usize),
+        world_size: np,
+    }
+}
+
+/// One world launch of the recoverable sweep. Returns `true` if this
+/// rank crashed (information only; the driver decides what to do next).
+fn fire_attempt(config: &FireConfig, ctx: &ChaosContext, comm: &Comm) -> bool {
+    let total = config.probabilities.len() * config.trials;
+    let np = comm.size();
+    let store = &ctx.checkpoints;
+    let run_trial = |k: usize| {
+        let (pi, t) = (k / config.trials, k % config.trials);
+        simulate_fire(
+            config.size,
+            config.probabilities[pi],
+            trial_seed(config.seed, pi, t),
+        )
+    };
+    if comm.rank() == 0 {
+        let bank = |k: usize, r: &TrialResult| {
+            if !store.contains(&fire_key(k)) {
+                store.save(&fire_key(k), r);
+            }
+        };
+        // Drain any worker results already waiting, without blocking.
+        let drain = || {
+            while comm.iprobe(Source::Any, TAG_FIRE_RESULT).is_some() {
+                match comm.recv::<(usize, TrialResult)>(Source::Any, TAG_FIRE_RESULT) {
+                    Ok((k, r)) => bank(k, &r),
+                    Err(_) => break,
+                }
+            }
+        };
+        for k in (0..total).step_by(np) {
+            if comm.chaos_step().is_err() {
+                return true; // rank 0's own crash: unwind, driver restarts
+            }
+            // `load` (not `peek`): skipping a trial a previous attempt
+            // banked *is* restored work, and is counted as such.
+            if store.load::<TrialResult>(&fire_key(k)).is_none() {
+                let r = run_trial(k);
+                store.save(&fire_key(k), &r);
+            }
+            drain();
+        }
+        // Collection: wait for the remaining worker results. Stop when
+        // everything is banked, or the only missing trials belong to
+        // dead ranks (a restart or the inline fallback will cover them).
+        let mut idle_rounds = 0u32;
+        loop {
+            let missing: Vec<usize> = (0..total)
+                .filter(|&k| !store.contains(&fire_key(k)))
+                .collect();
+            if missing.is_empty() {
+                return false;
+            }
+            if missing.iter().all(|&k| !comm.is_alive(k % np)) {
+                return false;
+            }
+            match comm.recv_timeout::<(usize, TrialResult)>(
+                Source::Any,
+                TAG_FIRE_RESULT,
+                Duration::from_millis(100),
+            ) {
+                Ok(((k, r), _)) => {
+                    bank(k, &r);
+                    idle_rounds = 0;
+                }
+                Err(MpcError::Timeout { .. }) => {
+                    idle_rounds += 1;
+                    if idle_rounds > 100 {
+                        return false; // safety valve (~10 s of silence)
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+    } else {
+        for k in (comm.rank()..total).step_by(np) {
+            if comm.chaos_step().is_err() {
+                return true;
+            }
+            if store.load::<TrialResult>(&fire_key(k)).is_some() {
+                continue; // restored from a previous attempt
+            }
+            let r = run_trial(k);
+            if comm.send_reliable(0, TAG_FIRE_RESULT, &(k, r)).is_err() {
+                return true; // master gone or delivery failed: unwind
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +515,75 @@ mod tests {
     #[should_panic(expected = "probability in [0,1]")]
     fn bad_probability_rejected() {
         simulate_fire(5, 1.5, 0);
+    }
+
+    #[test]
+    fn recoverable_matches_seq_without_faults() {
+        let config = FireConfig {
+            size: 15,
+            trials: 4,
+            probabilities: vec![0.3, 0.7],
+            ..FireConfig::default()
+        };
+        let ctx = ChaosContext::new(pdc_chaos::FaultPlan::new(7));
+        let run = run_mpc_recoverable(&config, 3, &ctx);
+        assert_eq!(run.value, run_seq(&config));
+        assert!(!run.degraded);
+        assert_eq!(run.attempts, 1);
+        assert_eq!(run.survivors, 3);
+    }
+
+    #[test]
+    fn recoverable_survives_drops_straggler_and_crash() {
+        let config = FireConfig {
+            size: 15,
+            trials: 5,
+            probabilities: vec![0.3, 0.6, 0.9],
+            ..FireConfig::default()
+        };
+        let plan = pdc_chaos::FaultPlan::new(42)
+            .with_drop_rate(0.3)
+            .with_straggler(1, 1)
+            .with_crash(2, 2);
+        let ctx = ChaosContext::new(plan);
+        let run = run_mpc_recoverable(&config, 4, &ctx);
+        assert_eq!(run.value, run_seq(&config), "recovery must be exact");
+        assert!(run.degraded);
+        assert_eq!(run.survivors, 3);
+        let s = ctx.stats();
+        assert_eq!(s.crashes, 1, "scheduled crash fired");
+        assert!(s.all_recovered(), "{s:?}");
+    }
+
+    #[test]
+    fn recoverable_is_deterministic_in_recoverable_counters() {
+        let config = FireConfig {
+            size: 11,
+            trials: 4,
+            probabilities: vec![0.4, 0.8],
+            ..FireConfig::default()
+        };
+        let make_plan = || {
+            pdc_chaos::FaultPlan::new(99)
+                .with_drop_rate(0.25)
+                .with_crash(1, 3)
+        };
+        let run_once = || {
+            let ctx = ChaosContext::new(make_plan());
+            let run = run_mpc_recoverable(&config, 3, &ctx);
+            let s = ctx.stats();
+            (
+                run.value,
+                run.attempts,
+                run.survivors,
+                s.drops,
+                s.crashes,
+                s.recoverable_injected(),
+                s.recovered(),
+                s.checkpoints_saved,
+                s.checkpoints_restored,
+            )
+        };
+        assert_eq!(run_once(), run_once());
     }
 }

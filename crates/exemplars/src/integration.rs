@@ -16,7 +16,7 @@ pub struct IntegrationResult {
     pub n: usize,
 }
 
-/// The classroom integrand: `4/(1+x²)`, whose integral over [0,1] is π.
+/// The classroom integrand: `4/(1+x²)`, whose integral over \[0,1\] is π.
 pub fn pi_integrand(x: f64) -> f64 {
     4.0 / (1.0 + x * x)
 }

@@ -23,12 +23,19 @@
 //! shared-memory ([`pdc_shmem`]), and message-passing ([`pdc_mpc`]) — with
 //! seeded randomness arranged so all three produce *identical* results,
 //! making the parallelizations machine-checkably correct.
+//!
+//! The Module B exemplars additionally ship **recoverable** variants
+//! (`run_mpc_recoverable`) that run under a [`pdc_chaos`] fault plan and
+//! survive injected message loss, stragglers, and rank crashes via
+//! retry, checkpoint/restart, and ULFM-style shrink — returning a
+//! [`RecoveredRun`] whose value is bit-identical to the fault-free run.
 
 pub mod drugdesign;
 pub mod forestfire;
 pub mod heat;
 pub mod integration;
 pub mod pandemic;
+pub mod recovery;
 pub mod sorting;
 
 pub use drugdesign::{DrugConfig, DrugResult};
@@ -36,3 +43,4 @@ pub use forestfire::{FireConfig, FirePoint};
 pub use heat::HeatConfig;
 pub use integration::IntegrationResult;
 pub use pandemic::{DayStats, PandemicConfig};
+pub use recovery::RecoveredRun;

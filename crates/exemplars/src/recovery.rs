@@ -1,0 +1,101 @@
+//! Shared plumbing for the *recoverable* exemplar runners.
+//!
+//! The chaos-hardened variants of the Module B exemplars
+//! ([`crate::forestfire::run_mpc_recoverable`],
+//! [`crate::drugdesign::run_mpc_recoverable`]) run under an armed
+//! [`pdc_chaos::FaultInjector`] and survive injected message loss,
+//! stragglers, and rank crashes. They return a [`RecoveredRun`]: the
+//! same value the fault-free runner would produce, plus the flags a
+//! study row needs to report that the run was degraded-but-valid.
+
+use serde::{Deserialize, Error, Map, Serialize, Value};
+
+/// Outcome of a recoverable exemplar run under fault injection.
+///
+/// `value` is bit-identical to the uninterrupted result — recovery
+/// (retry, checkpoint/restart, shrink, inline recompute) restores the
+/// full computation, never an approximation of it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredRun<T> {
+    /// The study result, identical to a fault-free run.
+    pub value: T,
+    /// True when any fault was injected along the way: the row should
+    /// be flagged in reports even though the value is exact.
+    pub degraded: bool,
+    /// World launches needed (1 = no restart was required).
+    pub attempts: u32,
+    /// Ranks still alive at the end (world size minus crashed ranks).
+    pub survivors: usize,
+    /// The world size the run started with.
+    pub world_size: usize,
+}
+
+impl<T> RecoveredRun<T> {
+    /// A short status tag for report rows: `"ok"` for a clean run,
+    /// `"degraded"` when faults were injected and survived.
+    pub fn status(&self) -> &'static str {
+        if self.degraded {
+            "degraded"
+        } else {
+            "ok"
+        }
+    }
+}
+
+// The vendored serde_derive does not support generic types, so the
+// (de)serialization of the wrapper is spelled out by hand.
+impl<T: Serialize> Serialize for RecoveredRun<T> {
+    fn to_json_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("value".into(), self.value.to_json_value());
+        m.insert("degraded".into(), self.degraded.to_json_value());
+        m.insert("attempts".into(), self.attempts.to_json_value());
+        m.insert("survivors".into(), self.survivors.to_json_value());
+        m.insert("world_size".into(), self.world_size.to_json_value());
+        Value::Object(m)
+    }
+}
+
+impl<T: Deserialize> Deserialize for RecoveredRun<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            value: T::from_json_value(&v["value"])?,
+            degraded: bool::from_json_value(&v["degraded"])?,
+            attempts: u32::from_json_value(&v["attempts"])?,
+            survivors: usize::from_json_value(&v["survivors"])?,
+            world_size: usize::from_json_value(&v["world_size"])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let run = RecoveredRun {
+            value: vec![1.5f64, 2.5],
+            degraded: true,
+            attempts: 2,
+            survivors: 3,
+            world_size: 4,
+        };
+        let json = serde_json::to_string(&run).unwrap();
+        let back: RecoveredRun<Vec<f64>> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, run);
+        assert_eq!(run.status(), "degraded");
+    }
+
+    #[test]
+    fn clean_run_status() {
+        let run = RecoveredRun {
+            value: 0u8,
+            degraded: false,
+            attempts: 1,
+            survivors: 2,
+            world_size: 2,
+        };
+        assert_eq!(run.status(), "ok");
+    }
+}

@@ -62,12 +62,22 @@ impl Comm {
     /// Typed internal send on a reserved tag.
     fn csend<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<()> {
         let bytes = crate::comm::encode(value)?;
-        self.send_bytes_internal(dest, tag, bytes, None)
+        self.send_bytes_internal(dest, tag, bytes, None).map(|_| ())
     }
 
     /// Typed internal receive on a reserved tag from a specific rank.
+    ///
+    /// Bounded by the world's collective timeout (default 30 s,
+    /// [`crate::world::DEFAULT_COLLECTIVE_TIMEOUT`]): a mismatched
+    /// collective — a peer that never enters the call, or a crashed
+    /// rank — surfaces as `MpcError::Timeout` (or `PeerGone`) on the
+    /// waiting ranks instead of blocking them forever.
     fn crecv<T: DeserializeOwned>(&self, src: usize, tag: Tag) -> Result<T> {
-        let (bytes, _) = self.recv_bytes_internal(Source::Rank(src), TagSel::Tag(tag), None)?;
+        let (bytes, _) = self.recv_bytes_internal(
+            Source::Rank(src),
+            TagSel::Tag(tag),
+            Some(self.fabric.collective_timeout),
+        )?;
         crate::comm::decode(&bytes)
     }
 

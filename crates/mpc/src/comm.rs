@@ -13,6 +13,16 @@ use crate::error::{MpcError, Result};
 use crate::mailbox::Latch;
 use crate::world::Fabric;
 
+/// What became of one transmission at the send chokepoint — internal,
+/// so `send_reliable` can count injected drops it must later recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SendOutcome {
+    /// At least one copy was deposited at the destination.
+    Delivered,
+    /// The fault injector silently dropped the message.
+    InjectedDrop,
+}
+
 /// Delivery metadata for a received message — the `MPI_Status` analog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Status {
@@ -86,6 +96,19 @@ impl Comm {
         Ok(())
     }
 
+    /// Failure predicate for blocking receives: a receive from a
+    /// specific rank that is registered dead fails with `PeerGone`
+    /// (after the queue has been scanned — pre-death messages are still
+    /// deliverable). `Source::Any` keeps waiting: some peer may yet send.
+    fn peer_gone_check(&self, src: Source) -> impl Fn() -> Option<MpcError> + '_ {
+        move || match src {
+            Source::Rank(r) if r < self.group.len() && self.fabric.dead.contains(self.group[r]) => {
+                Some(MpcError::PeerGone { rank: r })
+            }
+            _ => None,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Raw byte path (used internally and by zero-overhead benches).
     // ------------------------------------------------------------------
@@ -97,20 +120,30 @@ impl Comm {
         tag: Tag,
         payload: Bytes,
         sync_ack: Option<Arc<Latch>>,
-    ) -> Result<()> {
+    ) -> Result<SendOutcome> {
+        self.send_bytes_inner(dest, tag, payload, sync_ack, false)
+    }
+
+    /// The single send chokepoint: every message — user, collective, or
+    /// retransmission — passes through here, which is where fault
+    /// injection applies (`exempt` marks control-plane traffic that the
+    /// injector must deliver: retransmissions from `send_reliable`).
+    pub(crate) fn send_bytes_inner(
+        &self,
+        dest: usize,
+        tag: Tag,
+        payload: Bytes,
+        sync_ack: Option<Arc<Latch>>,
+        exempt: bool,
+    ) -> Result<SendOutcome> {
         self.check_rank(dest)?;
+        let src_w = self.world_rank(self.rank);
+        let dst_w = self.world_rank(dest);
         let mut span = pdc_trace::span("mpc", "send");
-        span.arg("src", self.world_rank(self.rank));
-        span.arg("dst", self.world_rank(dest));
+        span.arg("src", src_w);
+        span.arg("dst", dst_w);
         span.arg("tag", tag);
         span.arg("bytes", payload.len());
-        if let Some(traffic) = &self.fabric.traffic {
-            traffic.record(
-                self.world_rank(self.rank),
-                self.world_rank(dest),
-                payload.len(),
-            );
-        }
         let env = Envelope {
             comm_id: self.comm_id,
             src: self.rank,
@@ -118,8 +151,64 @@ impl Comm {
             payload,
             sync_ack,
         };
-        self.fabric.mailboxes[self.world_rank(dest)].deposit(env);
-        Ok(())
+        // Traffic is recorded per *delivered* copy (drops don't count,
+        // duplicates count twice), so the matrix reflects what actually
+        // crossed the wire.
+        let deliver = |env: Envelope| {
+            if let Some(traffic) = &self.fabric.traffic {
+                traffic.record(src_w, dst_w, env.payload.len());
+            }
+            self.fabric.mailboxes[dst_w].deposit(env);
+        };
+        let Some(inj) = &self.fabric.injector else {
+            deliver(env);
+            return Ok(SendOutcome::Delivered);
+        };
+        // Straggler delay applies to first transmissions only: exempting
+        // retransmissions keeps the straggler_delays counter a pure
+        // function of how many logical messages the slow rank sends.
+        if !exempt {
+            if let Some(extra) = inj.straggle(src_w) {
+                std::thread::sleep(extra);
+            }
+        }
+        let verdict = if exempt {
+            pdc_chaos::SendFault::Deliver
+        } else {
+            // Internal collective traffic (negative tags) rides the
+            // reliable control plane: injected faults apply to user
+            // messages only, ULFM-style.
+            inj.on_send(src_w, dst_w, tag >= 0)
+        };
+        match verdict {
+            pdc_chaos::SendFault::Deliver => deliver(env),
+            pdc_chaos::SendFault::Drop => {
+                span.arg("fault", "drop");
+                return Ok(SendOutcome::InjectedDrop);
+            }
+            pdc_chaos::SendFault::Duplicate => {
+                span.arg("fault", "duplicate");
+                let twin = Envelope {
+                    sync_ack: None, // only one copy carries the ssend latch
+                    ..env.clone()
+                };
+                deliver(env);
+                deliver(twin);
+            }
+            pdc_chaos::SendFault::Delay(extra) => {
+                span.arg("fault", "delay");
+                std::thread::sleep(extra);
+                deliver(env);
+            }
+            pdc_chaos::SendFault::Reorder => {
+                span.arg("fault", "reorder");
+                if let Some(traffic) = &self.fabric.traffic {
+                    traffic.record(src_w, dst_w, env.payload.len());
+                }
+                self.fabric.mailboxes[dst_w].deposit_front(env);
+            }
+        }
+        Ok(SendOutcome::Delivered)
     }
 
     pub(crate) fn recv_bytes_internal(
@@ -132,7 +221,13 @@ impl Comm {
         // The span covers the blocking wait, so its duration is the time
         // this rank spent idle for the message.
         let mut span = pdc_trace::span("mpc", "recv");
-        let env = self.fabric.mailboxes[me].take_matching(self.comm_id, src, tag, timeout)?;
+        let env = self.fabric.mailboxes[me].take_matching_checked(
+            self.comm_id,
+            src,
+            tag,
+            timeout,
+            &self.peer_gone_check(src),
+        )?;
         span.arg("src", self.world_rank(env.src));
         span.arg("dst", me);
         span.arg("tag", env.tag);
@@ -149,6 +244,7 @@ impl Comm {
     pub fn send_bytes(&self, dest: usize, tag: Tag, payload: Bytes) -> Result<()> {
         Self::check_user_tag(tag)?;
         self.send_bytes_internal(dest, tag, payload, None)
+            .map(|_| ())
     }
 
     /// Receive raw bytes.
@@ -173,7 +269,7 @@ impl Comm {
     pub fn send<T: Serialize>(&self, dest: usize, tag: Tag, value: &T) -> Result<()> {
         Self::check_user_tag(tag)?;
         let bytes = encode(value)?;
-        self.send_bytes_internal(dest, tag, bytes, None)
+        self.send_bytes_internal(dest, tag, bytes, None).map(|_| ())
     }
 
     /// Synchronous send — `MPI_Ssend`. Blocks until the destination has
@@ -280,8 +376,14 @@ impl Comm {
     /// pending and report its status without consuming it.
     pub fn probe(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Result<Status> {
         let me = self.world_rank(self.rank);
-        let (source, tag, len) =
-            self.fabric.mailboxes[me].peek_matching(self.comm_id, src.into(), tag.into(), None)?;
+        let src = src.into();
+        let (source, tag, len) = self.fabric.mailboxes[me].peek_matching_checked(
+            self.comm_id,
+            src,
+            tag.into(),
+            None,
+            &self.peer_gone_check(src),
+        )?;
         Ok(Status { source, tag, len })
     }
 

@@ -34,6 +34,20 @@ pub enum MpcError {
         /// The rank that is no longer reachable.
         rank: usize,
     },
+    /// This rank itself has crashed (fault-injection schedule fired);
+    /// the operation was abandoned.
+    Crashed {
+        /// The crashed rank (group rank of the caller).
+        rank: usize,
+    },
+    /// A reliable send exhausted its retry budget without the receiver
+    /// ever matching the message.
+    DeliveryFailed {
+        /// Destination rank.
+        dest: usize,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MpcError {
@@ -55,6 +69,13 @@ impl std::fmt::Display for MpcError {
             MpcError::Decode(e) => write!(f, "failed to decode message payload: {e}"),
             MpcError::CollectiveMismatch(e) => write!(f, "collective argument mismatch: {e}"),
             MpcError::PeerGone { rank } => write!(f, "peer rank {rank} terminated"),
+            MpcError::Crashed { rank } => write!(f, "rank {rank} crashed (injected fault)"),
+            MpcError::DeliveryFailed { dest, attempts } => {
+                write!(
+                    f,
+                    "delivery to rank {dest} failed after {attempts} attempts"
+                )
+            }
         }
     }
 }

@@ -57,6 +57,7 @@ pub mod collectives;
 pub mod comm;
 pub mod envelope;
 pub mod error;
+pub mod failure;
 pub mod mailbox;
 pub mod reduce_op;
 pub mod traffic;
@@ -67,9 +68,10 @@ pub use collectives::CollectiveAlgo;
 pub use comm::{Comm, RecvRequest, SendRequest, Status};
 pub use envelope::{Source, Tag, TagSel};
 pub use error::MpcError;
+pub use failure::DeadSet;
 pub use reduce_op::ops;
 pub use traffic::TrafficMatrix;
-pub use world::World;
+pub use world::{World, DEFAULT_COLLECTIVE_TIMEOUT};
 
 /// Crate prelude for patternlets and exemplars.
 pub mod prelude {

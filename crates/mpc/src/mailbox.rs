@@ -1,6 +1,6 @@
 //! Per-rank mailboxes with MPI matching semantics.
 //!
-//! Each world rank owns one [`Mailbox`]. A send deposits an [`Envelope`]
+//! Each world rank owns one [`Mailbox`]. A send deposits an `Envelope`
 //! at the destination's mailbox; a receive removes the *oldest* matching
 //! envelope, blocking until one arrives. Because the queue is scanned in
 //! arrival order, the MPI **non-overtaking** guarantee holds: two messages
@@ -88,11 +88,41 @@ impl Mailbox {
         self.arrived.notify_all();
     }
 
+    /// Deposit a message at the *front* of the queue, ahead of all
+    /// pending traffic. Used only by fault injection to model network
+    /// reordering — it deliberately violates the non-overtaking
+    /// guarantee [`Mailbox::deposit`] provides.
+    pub(crate) fn deposit_front(&self, env: Envelope) {
+        let depth = {
+            let mut q = self.queue.lock();
+            q.push_front(env);
+            q.len()
+        };
+        pdc_trace::gauge("mpc", "mailbox_depth", depth as f64);
+        self.arrived.notify_all();
+    }
+
+    /// Wake every blocked waiter without delivering anything, so it
+    /// re-evaluates its failure predicate. Called when a rank crashes:
+    /// receivers blocked on the dead rank return `PeerGone` promptly
+    /// instead of waiting out their timeout.
+    pub(crate) fn interrupt(&self) {
+        // Take the lock before notifying: a waiter is either inside its
+        // predicate check (holding the lock — it will see the new state
+        // on its next iteration) or parked in `wait` (the notify wakes
+        // it). There is no window where a waiter has decided to park but
+        // can still miss the notification, because `Condvar::wait`
+        // releases the lock and parks atomically.
+        let _q = self.queue.lock();
+        self.arrived.notify_all();
+    }
+
     /// Remove and return the oldest envelope matching the selectors,
     /// blocking until one arrives or `timeout` elapses (None = forever).
     ///
     /// Opens the envelope's sync latch (if any) *at match time*, which is
     /// when a synchronous send is allowed to complete.
+    #[cfg(test)]
     pub(crate) fn take_matching(
         &self,
         comm_id: u64,
@@ -100,16 +130,47 @@ impl Mailbox {
         tag: TagSel,
         timeout: Option<Duration>,
     ) -> Result<Envelope> {
+        self.take_matching_checked(comm_id, src, tag, timeout, &|| None)
+    }
+
+    /// [`Mailbox::take_matching`] with a failure predicate, evaluated
+    /// under the queue lock before every wait. Ordering matters: the
+    /// queue is always scanned *before* `fail` is consulted, so messages
+    /// deposited by a peer before it died remain receivable — only a
+    /// wait that would otherwise block surfaces the failure.
+    ///
+    /// All blocking paths in this module share the same missed-wakeup
+    /// discipline: predicates (queue contents and `fail`) are only read
+    /// while holding the queue lock, state changes (deposit / interrupt /
+    /// crash registration) happen under that lock before `notify_all`,
+    /// and `Condvar::wait` parks atomically with the unlock. A timeout
+    /// performs one final scan after waking, so a message or failure
+    /// that lands exactly at the deadline is never dropped on the floor.
+    pub(crate) fn take_matching_checked(
+        &self,
+        comm_id: u64,
+        src: Source,
+        tag: TagSel,
+        timeout: Option<Duration>,
+        fail: &dyn Fn() -> Option<MpcError>,
+    ) -> Result<Envelope> {
+        let take = |q: &mut VecDeque<Envelope>| -> Option<Envelope> {
+            let pos = q.iter().position(|e| e.matches(comm_id, &src, &tag))?;
+            let env = q.remove(pos).expect("position just found");
+            pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
+            if let Some(latch) = &env.sync_ack {
+                latch.open();
+            }
+            Some(env)
+        };
         let deadline = timeout.map(|d| Instant::now() + d);
         let mut q = self.queue.lock();
         loop {
-            if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
-                let env = q.remove(pos).expect("position just found");
-                pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
-                if let Some(latch) = &env.sync_ack {
-                    latch.open();
-                }
+            if let Some(env) = take(&mut q) {
                 return Ok(env);
+            }
+            if let Some(err) = fail() {
+                return Err(err);
             }
             match deadline {
                 None => self.arrived.wait(&mut q),
@@ -117,13 +178,11 @@ impl Mailbox {
                     if self.arrived.wait_until(&mut q, dl).timed_out() {
                         // One final scan in case a message arrived exactly
                         // at the deadline.
-                        if let Some(pos) = q.iter().position(|e| e.matches(comm_id, &src, &tag)) {
-                            let env = q.remove(pos).expect("position just found");
-                            pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
-                            if let Some(latch) = &env.sync_ack {
-                                latch.open();
-                            }
+                        if let Some(env) = take(&mut q) {
                             return Ok(env);
+                        }
+                        if let Some(err) = fail() {
+                            return Err(err);
                         }
                         return Err(MpcError::Timeout {
                             waited: timeout.expect("deadline implies timeout"),
@@ -137,6 +196,7 @@ impl Mailbox {
 
     /// Peek at the oldest matching envelope without removing it,
     /// returning its (src, tag, payload length). Blocks like a receive.
+    #[cfg(test)]
     pub(crate) fn peek_matching(
         &self,
         comm_id: u64,
@@ -144,11 +204,27 @@ impl Mailbox {
         tag: TagSel,
         timeout: Option<Duration>,
     ) -> Result<(usize, i32, usize)> {
+        self.peek_matching_checked(comm_id, src, tag, timeout, &|| None)
+    }
+
+    /// [`Mailbox::peek_matching`] with a failure predicate; same scan
+    /// ordering and wakeup discipline as [`Mailbox::take_matching_checked`].
+    pub(crate) fn peek_matching_checked(
+        &self,
+        comm_id: u64,
+        src: Source,
+        tag: TagSel,
+        timeout: Option<Duration>,
+        fail: &dyn Fn() -> Option<MpcError>,
+    ) -> Result<(usize, i32, usize)> {
         let deadline = timeout.map(|d| Instant::now() + d);
         let mut q = self.queue.lock();
         loop {
             if let Some(e) = q.iter().find(|e| e.matches(comm_id, &src, &tag)) {
                 return Ok((e.src, e.tag, e.payload.len()));
+            }
+            if let Some(err) = fail() {
+                return Err(err);
             }
             match deadline {
                 None => self.arrived.wait(&mut q),
@@ -156,6 +232,9 @@ impl Mailbox {
                     if self.arrived.wait_until(&mut q, dl).timed_out() {
                         if let Some(e) = q.iter().find(|e| e.matches(comm_id, &src, &tag)) {
                             return Ok((e.src, e.tag, e.payload.len()));
+                        }
+                        if let Some(err) = fail() {
+                            return Err(err);
                         }
                         return Err(MpcError::Timeout {
                             waited: timeout.expect("deadline implies timeout"),
@@ -312,6 +391,52 @@ mod tests {
     fn latch_timeout_returns_false() {
         let latch = Latch::new();
         assert!(!latch.wait(Some(Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn deposit_front_overtakes() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 1, 7, b"first"));
+        mb.deposit_front(env(0, 1, 7, b"jumped"));
+        let a = mb.take_matching(0, Source::Any, TagSel::Any, None).unwrap();
+        assert_eq!(&a.payload[..], b"jumped");
+    }
+
+    #[test]
+    fn checked_take_scans_queue_before_failing() {
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 1, 0, b"already-sent"));
+        let fail = || Some(MpcError::PeerGone { rank: 1 });
+        // The pre-death message is still delivered...
+        let got = mb
+            .take_matching_checked(0, Source::Rank(1), TagSel::Any, None, &fail)
+            .unwrap();
+        assert_eq!(&got.payload[..], b"already-sent");
+        // ...and only a would-block wait surfaces the failure.
+        let err = mb
+            .take_matching_checked(0, Source::Rank(1), TagSel::Any, None, &fail)
+            .unwrap_err();
+        assert!(matches!(err, MpcError::PeerGone { rank: 1 }));
+    }
+
+    #[test]
+    fn interrupt_wakes_blocked_checked_take() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mb = Arc::new(Mailbox::new());
+        let dead = Arc::new(AtomicBool::new(false));
+        let (mb2, dead2) = (Arc::clone(&mb), Arc::clone(&dead));
+        let h = std::thread::spawn(move || {
+            mb2.take_matching_checked(0, Source::Rank(1), TagSel::Any, None, &|| {
+                dead2
+                    .load(Ordering::SeqCst)
+                    .then_some(MpcError::PeerGone { rank: 1 })
+            })
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        dead.store(true, Ordering::SeqCst);
+        mb.interrupt();
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, MpcError::PeerGone { rank: 1 }));
     }
 
     #[test]

@@ -6,10 +6,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use pdc_chaos::{FaultInjector, FaultPlan, RetryPolicy};
 
 use crate::collectives::CollectiveAlgo;
 use crate::comm::Comm;
+use crate::failure::DeadSet;
 use crate::mailbox::{Mailbox, SharedMailbox};
+
+/// Default internal timeout for collectives: generous enough that a
+/// healthy classroom run never trips it, but a mismatched collective
+/// (one rank never arrives) returns `MpcError::Timeout` instead of
+/// hanging the process forever.
+pub const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Shared communication state: one mailbox per world rank plus the
 /// communicator-id allocator. Internal; reachable only through [`Comm`].
@@ -18,6 +28,10 @@ pub(crate) struct Fabric {
     pub(crate) hostnames: Vec<String>,
     pub(crate) algo: CollectiveAlgo,
     pub(crate) traffic: Option<crate::traffic::TrafficCounters>,
+    pub(crate) injector: Option<Arc<FaultInjector>>,
+    pub(crate) dead: DeadSet,
+    pub(crate) collective_timeout: Duration,
+    pub(crate) retry: RetryPolicy,
     next_comm_id: AtomicU64,
 }
 
@@ -37,11 +51,14 @@ impl Fabric {
 /// let ranks: Vec<usize> = World::new(3).run(|comm| comm.rank());
 /// assert_eq!(ranks, vec![0, 1, 2]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct World {
     np: usize,
     hostnames: Vec<String>,
     algo: CollectiveAlgo,
+    injector: Option<Arc<FaultInjector>>,
+    collective_timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl World {
@@ -53,6 +70,9 @@ impl World {
             np,
             hostnames: vec!["localhost".to_owned(); np],
             algo: CollectiveAlgo::default(),
+            injector: None,
+            collective_timeout: DEFAULT_COLLECTIVE_TIMEOUT,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -79,6 +99,34 @@ impl World {
     /// Choose the collective algorithm (default: binomial tree).
     pub fn with_algo(mut self, algo: CollectiveAlgo) -> Self {
         self.algo = algo;
+        self
+    }
+
+    /// Run under a fault plan: arm a fresh [`FaultInjector`] for `plan`
+    /// and apply it at the send/recv chokepoint. See `pdc-chaos`.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.with_fault_injector(Arc::new(FaultInjector::new(plan)))
+    }
+
+    /// Run under an already-armed injector — lets a restart sequence
+    /// share one injector (and its consumed crash schedule and fault
+    /// ledger) across several `World::run` attempts.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Override the internal collective timeout
+    /// ([`DEFAULT_COLLECTIVE_TIMEOUT`]). A mismatched collective returns
+    /// `MpcError::Timeout` after this long instead of hanging.
+    pub fn with_collective_timeout(mut self, timeout: Duration) -> Self {
+        self.collective_timeout = timeout;
+        self
+    }
+
+    /// Override the retry schedule `Comm::send_reliable` uses.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -126,6 +174,10 @@ impl World {
             hostnames: self.hostnames.clone(),
             algo: self.algo,
             traffic: trace.then(|| crate::traffic::TrafficCounters::new(self.np)),
+            injector: self.injector.clone(),
+            dead: DeadSet::new(),
+            collective_timeout: self.collective_timeout,
+            retry: self.retry,
             next_comm_id: AtomicU64::new(1),
         });
         let group: Arc<Vec<usize>> = Arc::new((0..self.np).collect());

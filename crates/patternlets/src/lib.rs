@@ -39,7 +39,7 @@ pub enum Paradigm {
 }
 
 /// Parallel-pattern taxonomy, following the OPL/patternlet organization
-/// the paper cites (Keutzer & Mattson [24], Adams [17]).
+/// the paper cites (Keutzer & Mattson \[24\], Adams \[17\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Pattern {
     /// Program-structure: single program, multiple data.

@@ -1,6 +1,6 @@
 //! Message-passing (MPI-style) patternlets — the Module B catalog, the
 //! Rust transliteration of the CSinParallel `mpi4py` patternlets the
-//! paper runs in Google Colab (reference [14], Figure 2).
+//! paper runs in Google Colab (reference \[14\], Figure 2).
 
 pub mod basics;
 pub mod collectives;

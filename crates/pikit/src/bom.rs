@@ -59,7 +59,7 @@ impl Kit {
 
     /// The earlier, costlier Pimoroni-style kit the paper contrasts with
     /// ("more expensive, bulkier"): same Pi plus monitor-replacement
-    /// extras. Prices reflect the SIGCSE'18 kit described in [47].
+    /// extras. Prices reflect the SIGCSE'18 kit described in \[47\].
     pub fn pimoroni_2018() -> Self {
         Self {
             name: "Pimoroni-based kit (SIGCSE'18 [47])".into(),

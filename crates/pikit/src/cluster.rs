@@ -1,7 +1,7 @@
 //! Building a Beowulf cluster of Raspberry Pis.
 //!
 //! §II: "students can connect multiple SBCs to form their own Beowulf
-//! cluster [35]". This module scales the single-kit pipeline to a
+//! cluster \[35\]". This module scales the single-kit pipeline to a
 //! head-plus-workers cluster: a bill of materials (kits + switch +
 //! cabling), per-node provisioning with distinct hostnames, and a
 //! cluster-readiness check (every node booted, ssh-able, on the network,

@@ -1,6 +1,6 @@
 //! The customized Raspberry Pi system image.
 //!
-//! Models the paper's reference [45] — `csip-image-3.0.2` — which the
+//! Models the paper's reference \[45\] — `csip-image-3.0.2` — which the
 //! authors describe as (i) working on "all Raspberry Pi models from the
 //! 3B onward", (ii) shipping the OpenMP code examples, and (iii) being
 //! maintained with Ansible.
@@ -23,7 +23,7 @@ pub struct SystemImage {
 }
 
 impl SystemImage {
-    /// The CSinParallel workshop image, v3.0.2 (paper reference [45]).
+    /// The CSinParallel workshop image, v3.0.2 (paper reference \[45\]).
     pub fn csip_3_0_2() -> Self {
         Self {
             name: "csip-image".into(),
@@ -54,7 +54,7 @@ impl SystemImage {
         self.packages.iter().any(|p| p == pkg)
     }
 
-    /// Filename as distributed (paper reference [45] is
+    /// Filename as distributed (paper reference \[45\] is
     /// `2020-06-18-csip-image-3.0.2.zip`).
     pub fn filename(&self) -> String {
         format!("2020-06-18-{}-{}.zip", self.name, self.version)

@@ -7,7 +7,7 @@
 //! * [`bom`] — the mailed kit's bill of materials and cost model
 //!   (Table I of the paper: six parts, $100.66 total).
 //! * [`image`] — the customized system image (`csip-image-3.0.2`, the
-//!   paper's reference [45]): version, supported Pi models ("tested and
+//!   paper's reference \[45\]): version, supported Pi models ("tested and
 //!   confirmed to work on all Raspberry Pi models from the 3B onward"),
 //!   and preinstalled software.
 //! * [`device`] — a simulated Raspberry Pi device with the state a

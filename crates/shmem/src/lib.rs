@@ -11,7 +11,7 @@
 //! |---|---|
 //! | `#pragma omp parallel` | [`Team::parallel`] (fork-join over a thread team) |
 //! | `omp_get_thread_num()` / `omp_get_num_threads()` | [`ThreadCtx::thread_num`] / [`ThreadCtx::num_threads`] |
-//! | `#pragma omp for schedule(static/dynamic/guided)` | [`parallel_for`] + [`Schedule`] |
+//! | `#pragma omp for schedule(static/dynamic/guided)` | [`parallel_for()`] + [`Schedule`] |
 //! | `reduction(+:x)` | [`parallel_reduce`] (private accumulators + combine) |
 //! | `#pragma omp critical` | [`ThreadCtx::critical`] (named critical sections) |
 //! | `#pragma omp atomic` | [`sync::AtomicF64`], [`sync::AtomicCounter`] |
@@ -70,7 +70,7 @@ pub mod team;
 pub use parallel_for::{parallel_for, parallel_for_each, parallel_for_each_indexed};
 pub use reduce::{parallel_reduce, reduce_with_atomic, reduce_with_critical, reduce_with_race};
 pub use schedule::Schedule;
-pub use team::{Team, ThreadCtx};
+pub use team::{Team, TeamError, ThreadCtx};
 
 /// The crate prelude: everything a patternlet needs in scope.
 pub mod prelude {
@@ -79,5 +79,5 @@ pub mod prelude {
     pub use crate::reduce::parallel_reduce;
     pub use crate::schedule::Schedule;
     pub use crate::sync::{AtomicCounter, AtomicF64, SpinLock, TicketLock};
-    pub use crate::team::{Team, ThreadCtx};
+    pub use crate::team::{Team, TeamError, ThreadCtx};
 }

@@ -15,7 +15,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// An iteration-scheduling policy for [`crate::parallel_for`].
+/// An iteration-scheduling policy for [`crate::parallel_for()`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Schedule {
     /// Pre-partitioned chunks dealt round-robin to threads.

@@ -68,6 +68,87 @@ impl Team {
         self.parallel_map(|ctx| body(ctx));
     }
 
+    /// Panic-isolating [`Team::parallel`]: a panicking worker poisons
+    /// the region with a typed [`TeamError`] instead of aborting the
+    /// whole process — the shmem analogue of a rank crash that the
+    /// world survives. Every thread still runs to completion (or
+    /// panic); the first panic by thread id is reported.
+    pub fn try_parallel<F>(&self, body: F) -> Result<(), TeamError>
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        self.try_parallel_map(|ctx| body(ctx)).map(|_| ())
+    }
+
+    /// Panic-isolating [`Team::parallel_map`]: returns every thread's
+    /// value, or [`TeamError::WorkerPanicked`] naming the first
+    /// panicking thread (lowest id) and its panic message.
+    ///
+    /// **Caveat**: a worker that panics between two [`ThreadCtx::barrier`]
+    /// calls leaves its teammates waiting at the next barrier; use
+    /// barrier-free bodies (or the master-checks pattern) with this API.
+    pub fn try_parallel_map<F, T>(&self, body: F) -> Result<Vec<T>, TeamError>
+    where
+        F: Fn(&ThreadCtx) -> T + Sync,
+        T: Send,
+    {
+        let mut region = pdc_trace::span("shmem", "try_parallel");
+        region.arg("threads", self.num_threads);
+        let shared = RegionShared {
+            barrier: self.barrier_kind.build(self.num_threads),
+            criticals: CriticalRegistry::default(),
+        };
+        let mut results: Vec<Option<T>> = (0..self.num_threads).map(|_| None).collect();
+        let mut panics: Vec<Option<String>> = (0..self.num_threads).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(self.num_threads);
+            for (id, (slot, poison)) in results.iter_mut().zip(panics.iter_mut()).enumerate() {
+                let shared = &shared;
+                let body = &body;
+                handles.push(s.spawn(move || {
+                    let mut worker = pdc_trace::span("shmem", "worker");
+                    worker.arg("thread", id);
+                    let ctx = ThreadCtx {
+                        id,
+                        num_threads: shared.barrier.members(),
+                        shared,
+                    };
+                    // AssertUnwindSafe: on panic the thread's slot stays
+                    // None and the whole region returns Err, so no state
+                    // from the interrupted body is ever observed.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&ctx))) {
+                        Ok(v) => *slot = Some(v),
+                        Err(payload) => {
+                            *poison = Some(panic_message(&*payload));
+                            pdc_trace::counter("shmem", "worker_panics", 1);
+                        }
+                    }
+                    drop(worker);
+                    pdc_trace::flush_thread();
+                }));
+            }
+            for h in handles {
+                h.join()
+                    .expect("worker panics are caught inside the region");
+            }
+        });
+        pdc_trace::counter("shmem", "parallel_regions", 1);
+        if let Some((thread, msg)) = panics
+            .iter()
+            .enumerate()
+            .find_map(|(i, p)| p.as_ref().map(|m| (i, m.clone())))
+        {
+            return Err(TeamError::WorkerPanicked {
+                thread,
+                message: msg,
+            });
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("no panic implies every slot filled"))
+            .collect())
+    }
+
     /// Run `body` on every team thread and collect each thread's return
     /// value, ordered by thread id.
     pub fn parallel_map<F, T>(&self, body: F) -> Vec<T>
@@ -117,6 +198,42 @@ impl Team {
             .into_iter()
             .map(|r| r.expect("every team thread produced a result"))
             .collect()
+    }
+}
+
+/// Typed failure of a panic-isolating parallel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeamError {
+    /// A worker thread panicked; the region was poisoned and no results
+    /// are returned. The first panicking thread (by id) is reported.
+    WorkerPanicked {
+        /// Thread id of the (first) panicking worker.
+        thread: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TeamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TeamError::WorkerPanicked { thread, message } => {
+                write!(f, "team thread {thread} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeamError {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
     }
 }
 
@@ -341,6 +458,43 @@ mod tests {
             ctx.barrier();
             assert_eq!(count.load(Ordering::SeqCst), 4);
         });
+    }
+
+    #[test]
+    fn try_parallel_isolates_worker_panic() {
+        let team = Team::new(4);
+        let err = team
+            .try_parallel_map(|ctx| {
+                if ctx.thread_num() == 2 {
+                    panic!("injected worker fault");
+                }
+                ctx.thread_num()
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TeamError::WorkerPanicked {
+                thread: 2,
+                message: "injected worker fault".to_owned()
+            }
+        );
+        // The team object survives and runs cleanly afterwards.
+        let ok = team.try_parallel_map(|ctx| ctx.thread_num()).unwrap();
+        assert_eq!(ok, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_parallel_reports_lowest_panicking_thread() {
+        let team = Team::new(3);
+        let err = team.try_parallel(|_| panic!("all down")).unwrap_err();
+        assert!(matches!(err, TeamError::WorkerPanicked { thread: 0, .. }));
+    }
+
+    #[test]
+    fn try_parallel_ok_path_matches_parallel_map() {
+        let team = Team::new(4);
+        let got = team.try_parallel_map(|ctx| ctx.thread_num() * 3).unwrap();
+        assert_eq!(got, vec![0, 3, 6, 9]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! provides everything needed to recompute those statistics from raw
 //! response vectors:
 //!
-//! * [`describe`] — descriptive statistics (mean, variance, standard error,
+//! * [`mod@describe`] — descriptive statistics (mean, variance, standard error,
 //!   five-number summaries) over `f64` samples.
 //! * [`histogram`] — integer-binned histograms with labelled bins and an
 //!   ASCII bar renderer used to regenerate the figures in a terminal.

@@ -314,6 +314,35 @@ pub fn summarize(events: &[Event]) -> MetricSummary {
     }
 }
 
+/// Sum of one named counter's deltas across an event stream.
+///
+/// This is the reconciliation primitive for fault accounting:
+/// `reproduce --trace --chaos` (and the chaos test suite) check that
+/// the tracer's `chaos/...` counter totals equal the fault ledger's
+/// fields *exactly* — every injected fault observed, every observed
+/// fault injected. Returns 0 when the counter never fired.
+pub fn counter_total(events: &[Event], category: &str, name: &str) -> i64 {
+    events
+        .iter()
+        .filter(|e| e.category == category && e.name == name)
+        .map(|e| match e.kind {
+            EventKind::Counter { delta } => delta,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Every counter total within one category, sorted by name — the
+/// category's complete ledger as seen by the tracer.
+pub fn counter_totals(events: &[Event], category: &str) -> Vec<(String, i64)> {
+    summarize(events)
+        .counters
+        .into_iter()
+        .filter(|c| c.category == category)
+        .map(|c| (c.name, c.total))
+        .collect()
+}
+
 /// Render a plain-text summary table: one line per span metric with a
 /// count / total / min / mean / max breakdown and a log-scale duration
 /// histogram, then counter totals and gauge ranges.
@@ -457,6 +486,26 @@ mod tests {
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(text.contains("\"dur_ns\":5000"));
         assert!(text.contains("\"sched\":\"static\""));
+    }
+
+    #[test]
+    fn counter_total_sums_only_matching_deltas() {
+        let mut events = sample_events();
+        events.push(Event {
+            kind: EventKind::Counter { delta: 4 },
+            category: "shmem",
+            name: "spinlock_contended",
+            ts_ns: 500,
+            tid: 2,
+            args: Vec::new(),
+        });
+        assert_eq!(counter_total(&events, "shmem", "spinlock_contended"), 7);
+        assert_eq!(counter_total(&events, "shmem", "nope"), 0);
+        assert_eq!(
+            counter_totals(&events, "shmem"),
+            vec![("spinlock_contended".to_string(), 7)]
+        );
+        assert!(counter_totals(&events, "mpc").is_empty());
     }
 
     #[test]

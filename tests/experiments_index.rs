@@ -130,7 +130,8 @@ fn full_reproduce_run_covers_all_ids() {
             "injection",
             "economics",
             "moduleA-study",
-            "moduleB-study"
+            "moduleB-study",
+            "moduleB-chaos"
         ]
     );
 }

@@ -149,6 +149,193 @@ fn notebook_runtime_surfaces_user_errors() {
     assert!(out[0].contains("not executable"));
 }
 
+// ---------------------------------------------------------------------------
+// Chaos suite: injected faults, detection, and recovery (pdc-chaos).
+//
+// These run real multi-rank workloads under seeded fault plans and
+// assert the recovery machinery — failure detector + shrink, reliable
+// send, checkpoint/restart — turns every injected-but-recoverable fault
+// into a completed, exact result.
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use pdc_chaos::{ChaosContext, FaultInjector, FaultPlan};
+use pdc_exemplars::forestfire;
+
+#[test]
+fn crashed_rank_shrinks_away_and_collective_continues() {
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new(11).with_crash(2, 0)));
+    let out = World::new(4)
+        .with_fault_injector(Arc::clone(&inj))
+        .run(|c| {
+            if c.chaos_step().is_err() {
+                return None; // rank 2's schedule fires on its first step
+            }
+            // Survivors wait until the failure detector observes the
+            // death (crash() wakes blocked receivers, but this rank may
+            // not be blocked yet), then rebuild and keep computing.
+            while c.is_alive(2) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let alive = c.shrink().unwrap();
+            let sum = alive.allreduce(c.rank() as u64, |a, b| a + b).unwrap();
+            Some((alive.size(), sum))
+        });
+    assert_eq!(out[2], None, "the crashed rank unwound");
+    for r in [0, 1, 3] {
+        // 3 survivors; their world ranks sum to 0 + 1 + 3 = 4.
+        assert_eq!(out[r], Some((3, 4)), "rank {r}: {out:?}");
+    }
+    let s = inj.stats();
+    assert_eq!((s.crashes, s.shrinks), (1, 3));
+}
+
+#[test]
+fn send_reliable_delivers_every_message_under_thirty_percent_drop() {
+    let inj = Arc::new(FaultInjector::new(FaultPlan::new(9).with_drop_rate(0.3)));
+    const N: u64 = 50;
+    let out = World::new(2)
+        .with_fault_injector(Arc::clone(&inj))
+        .run(|c| {
+            if c.rank() == 0 {
+                for i in 0..N {
+                    c.send_reliable(1, 7, &i).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..N).map(|_| c.recv::<u64>(0, 7).unwrap()).collect()
+            }
+        });
+    // Nothing lost, nothing duplicated, order preserved (the sender
+    // acks each message before the next, and retransmissions are the
+    // only second copies — none needed beyond the dropped ones).
+    assert_eq!(out[1], (0..N).collect::<Vec<u64>>());
+    let s = inj.stats();
+    assert!(s.drops > 0, "a 30% plan over 50 sends injected nothing");
+    assert_eq!(s.drops_recovered, s.drops, "every drop was made good");
+    assert!(s.all_recovered());
+}
+
+#[test]
+fn checkpointed_forest_fire_resumes_bit_identical() {
+    let config = forestfire::FireConfig {
+        size: 12,
+        trials: 2,
+        ..Default::default()
+    };
+    // Rank 1 crashes on its second owned trial; the driver restarts the
+    // world with the same (consumed) schedule and the restart resumes
+    // from rank 0's checkpoint bank.
+    let faulted = ChaosContext::new(FaultPlan::new(4).with_crash(1, 1));
+    let run = forestfire::run_mpc_recoverable(&config, 3, &faulted);
+    assert!(run.attempts >= 2, "a crash forces at least one restart");
+    let s = faulted.stats();
+    assert_eq!(s.crashes, 1);
+    assert!(s.checkpoints_restored > 0, "restart skipped banked trials");
+    assert!(s.all_recovered(), "{s:?}");
+    // Bit-identical to both the fault-free parallel run and run_seq.
+    let clean = ChaosContext::new(FaultPlan::new(4));
+    let clean_run = forestfire::run_mpc_recoverable(&config, 3, &clean);
+    assert_eq!(run.value, clean_run.value);
+    assert_eq!(run.value, forestfire::run_seq(&config));
+    assert!(run.degraded && !clean_run.degraded);
+}
+
+#[test]
+fn seeded_reorder_plan_cannot_lose_or_invent_messages() {
+    // Satellite regression for the mailbox's blocking waits: three
+    // senders hammer one receiver through a plan that reorders and
+    // delays deliveries, stressing the notify paths that a missed
+    // wakeup would turn into a hang (recv_timeout bounds the damage to
+    // a clean failure). The receiver must see exactly the multiset sent.
+    let inj = Arc::new(FaultInjector::new(
+        FaultPlan::new(21).with_reorder_rate(0.4).with_delay(0.2, 1),
+    ));
+    const PER_SENDER: usize = 100;
+    let out = World::new(4)
+        .with_fault_injector(Arc::clone(&inj))
+        .run(|c| {
+            if c.rank() == 0 {
+                let mut got: Vec<(usize, usize)> = (0..3 * PER_SENDER)
+                    .map(|_| {
+                        c.recv_timeout::<(usize, usize)>(
+                            Source::Any,
+                            TagSel::Any,
+                            Duration::from_secs(5),
+                        )
+                        .expect("no message may be lost")
+                        .0
+                    })
+                    .collect();
+                got.sort_unstable();
+                got
+            } else {
+                for i in 0..PER_SENDER {
+                    c.send(0, c.rank() as i32, &(c.rank(), i)).unwrap();
+                }
+                Vec::new()
+            }
+        });
+    let mut want: Vec<(usize, usize)> = (1..4)
+        .flat_map(|r| (0..PER_SENDER).map(move |i| (r, i)))
+        .collect();
+    want.sort_unstable();
+    assert_eq!(out[0], want);
+    let s = inj.stats();
+    assert!(
+        s.reorders > 0 && s.delays > 0,
+        "the plan injected nothing: {s:?}"
+    );
+}
+
+#[test]
+fn mismatched_collective_times_out_instead_of_hanging() {
+    // Rank 1 never joins the allreduce; the internal collective timeout
+    // must surface that as an error on rank 0 rather than a hang.
+    let errs = World::new(2)
+        .with_collective_timeout(Duration::from_millis(120))
+        .run(|c| {
+            if c.rank() == 0 {
+                c.allreduce(1u64, |a, b| a + b).err()
+            } else {
+                None
+            }
+        });
+    assert!(
+        matches!(errs[0], Some(MpcError::Timeout { .. })),
+        "{errs:?}"
+    );
+}
+
+#[test]
+fn chaos_fault_history_is_deterministic_for_a_seed() {
+    let run = || {
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(33)
+                .with_drop_rate(0.25)
+                .with_reorder_rate(0.25),
+        ));
+        World::new(2)
+            .with_fault_injector(Arc::clone(&inj))
+            .run(|c| {
+                if c.rank() == 0 {
+                    for i in 0..40u64 {
+                        c.send_reliable(1, 3, &i).unwrap();
+                    }
+                } else {
+                    for _ in 0..40 {
+                        let _: u64 = c.recv(0, 3).unwrap();
+                    }
+                }
+            });
+        inj.stats()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "same seed, same workload, same ledger");
+    assert!(a.any_injected(), "the plan injected nothing: {a:?}");
+}
+
 #[test]
 fn heat_rejects_unstable_configuration_before_running() {
     let bad = pdc_exemplars::heat::HeatConfig {

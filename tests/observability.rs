@@ -148,6 +148,46 @@ fn chunk_events_cover_the_range_once_per_schedule() {
 }
 
 #[test]
+fn chaos_ledger_reconciles_with_trace_counters() {
+    let _guard = TRACE_LOCK.lock().unwrap();
+    use pdc_chaos::ChaosContext;
+    use pdc_exemplars::forestfire;
+
+    // Run the canonical chaos workload under tracing: every FaultLog
+    // increment is mirrored as a `chaos/<name>` counter, so the trace
+    // stream's totals must equal the ledger exactly — injected vs.
+    // observed reconcile to the message.
+    let (stats, events) = pdc_trace::with_tracing(|| {
+        let ctx = ChaosContext::new(pdc_core::chaos::canonical_fire_plan(2020));
+        let config = forestfire::FireConfig {
+            size: 15,
+            trials: 4,
+            ..Default::default()
+        };
+        let run = forestfire::run_mpc_recoverable(&config, pdc_core::chaos::CHAOS_NP, &ctx);
+        assert_eq!(run.value, forestfire::run_seq(&config));
+        ctx.stats()
+    });
+
+    let total = |name: &str| pdc_trace::export::counter_total(&events, "chaos", name) as u64;
+    assert!(stats.drops > 0 && stats.crashes > 0, "{stats:?}");
+    assert_eq!(total("faults_dropped"), stats.drops);
+    assert_eq!(total("faults_straggled"), stats.straggler_delays);
+    assert_eq!(total("faults_crashed"), stats.crashes);
+    assert_eq!(total("retries"), stats.retries);
+    assert_eq!(total("drops_recovered"), stats.drops_recovered);
+    assert_eq!(total("crashes_recovered"), stats.crashes_recovered);
+    assert_eq!(total("checkpoints_saved"), stats.checkpoints_saved);
+    assert_eq!(total("checkpoints_restored"), stats.checkpoints_restored);
+    assert_eq!(total("shrinks"), stats.shrinks);
+    assert!(stats.all_recovered(), "{stats:?}");
+    // The crash is also visible as a discrete instant event.
+    assert!(events
+        .iter()
+        .any(|e| e.category == "chaos" && e.name == "rank_crashed"));
+}
+
+#[test]
 fn chrome_export_of_a_mixed_run_is_valid_json() {
     let _guard = TRACE_LOCK.lock().unwrap();
     let ((), events) = pdc_trace::with_tracing(|| {
