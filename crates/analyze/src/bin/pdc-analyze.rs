@@ -1,0 +1,84 @@
+//! `pdc-analyze` — command-line front end for the three detectors.
+//!
+//! ```text
+//! pdc-analyze lint                 # lint the patternlet catalog
+//! pdc-analyze race <patternlet>    # run one patternlet under the race detector
+//! pdc-analyze comm <trace.jsonl>   # offline analysis of a pdc-trace export
+//! pdc-analyze all                  # lint + race-check the whole catalog
+//! ```
+//!
+//! Exit status is nonzero when any `Error`-severity diagnostic is found
+//! — with one inversion the catalog linter already encodes: the
+//! known-racy `sm.race` *failing to be flagged* is itself an error.
+
+use std::process::ExitCode;
+
+use pdc_analyze::{lint, with_race_analysis, Diagnostic};
+use pdc_patternlets::registry;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pdc-analyze <lint | race <patternlet-id> | comm <trace.jsonl> | all>");
+    ExitCode::from(2)
+}
+
+fn report(header: &str, diags: &[Diagnostic]) -> ExitCode {
+    println!("== {header} ==");
+    if diags.is_empty() {
+        println!("no findings");
+    }
+    for d in diags {
+        println!("{d}");
+    }
+    if diags.iter().any(|d| d.is_error()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn race_one(id: &str) -> ExitCode {
+    let Some(p) = registry::find(id) else {
+        eprintln!("unknown patternlet id {id:?}");
+        return ExitCode::from(2);
+    };
+    let n = if id == "sm.race" { 2 } else { 4 };
+    let (out, diags) = with_race_analysis(|| p.run(n));
+    for line in &out.lines {
+        println!("| {line}");
+    }
+    report(&format!("race analysis of {id} at n={n}"), &diags)
+}
+
+fn comm_offline(path: &str) -> ExitCode {
+    match std::fs::read_to_string(path) {
+        Ok(jsonl) => {
+            let diags = pdc_analyze::comm::analyze_jsonl(&jsonl);
+            report(&format!("offline comm analysis of {path}"), &diags)
+        }
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["lint"] => report("catalog lint", &lint::lint_catalog()),
+        ["race", id] => race_one(id),
+        ["comm", path] => comm_offline(path),
+        ["all"] => {
+            // The catalog lint already runs every patternlet under the
+            // matching detector (and checks the detectors' TP/TN
+            // behaviour), so `all` is lint with a louder name.
+            report("catalog lint + detector cross-check", &lint::lint_catalog())
+        }
+        _ => usage(),
+    }
+}

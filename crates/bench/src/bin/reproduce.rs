@@ -6,6 +6,7 @@
 //! reproduce --list             # list experiment ids
 //! reproduce --trace trace.json # run traced; write a Chrome trace
 //! reproduce --chaos 2020       # run the chaos study under seed 2020
+//! reproduce --analyze          # run the detector study (pdc-analyze)
 //! ```
 //!
 //! With `--trace <path>` the runtimes' tracer is enabled for the run:
@@ -22,6 +23,19 @@
 //! seed. The exit status is nonzero if any recoverable fault went
 //! unrecovered. Combine with `--trace` to reconcile the ledger against
 //! the tracer's `chaos/...` counters.
+//!
+//! With `--analyze` the `pdc-analyze` detectors run their canonical
+//! study: the race detector over the mutual-exclusion ladder (the
+//! known-racy `sm.race` must be flagged with its racing sites, the
+//! fixed variants must not), the communication analyzer over four
+//! canonical scenarios (clean collectives, mismatched collective,
+//! receive-receive deadlock, unmatched send), both full module studies
+//! under analysis, and the catalog lint. The report is written to
+//! `artifacts/BENCH_analyze.json` — deterministic and byte-identical
+//! across runs — and the exit status is nonzero when a known bug went
+//! undetected or known-clean code was flagged. Combine with `--trace`
+//! to reconcile the artifact against the tracer's `analyze/...`
+//! counters.
 
 use std::time::Instant;
 
@@ -31,6 +45,7 @@ struct Cli {
     list: bool,
     trace: Option<String>,
     chaos: Option<u64>,
+    analyze: bool,
     id: Option<String>,
 }
 
@@ -39,6 +54,7 @@ fn parse_args() -> Cli {
         list: false,
         trace: None,
         chaos: None,
+        analyze: false,
         id: None,
     };
     let mut args = std::env::args().skip(1);
@@ -59,6 +75,7 @@ fn parse_args() -> Cli {
                     std::process::exit(2);
                 }
             },
+            "--analyze" => cli.analyze = true,
             other => cli.id = Some(other.to_owned()),
         }
     }
@@ -95,7 +112,27 @@ fn main() {
             });
         eprintln!("wrote artifacts/BENCH_chaos.json");
         chaos_failed = !report.all_recovered();
-    } else {
+    }
+
+    let mut analyze_failed = false;
+    let mut analysis_report: Option<pdc_core::analysis::AnalysisReport> = None;
+    if cli.analyze {
+        let start = Instant::now();
+        let report = pdc_core::analysis::full_analysis(pdc_core::study::Scale::Quick);
+        timings.push(("analysis-study".to_owned(), start.elapsed().as_secs_f64()));
+        println!("{}", report.render());
+        std::fs::create_dir_all("artifacts")
+            .and_then(|()| std::fs::write("artifacts/BENCH_analyze.json", report.to_json()))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write artifacts/BENCH_analyze.json: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote artifacts/BENCH_analyze.json");
+        analyze_failed = !report.passed();
+        analysis_report = Some(report);
+    }
+
+    if cli.chaos.is_none() && !cli.analyze {
         match cli.id.as_deref() {
             Some(id) => {
                 let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
@@ -143,12 +180,54 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote artifacts/BENCH_trace.json");
+
+        if let Some(report) = &analysis_report {
+            if !reconcile_analysis(report, &events) {
+                eprintln!("analysis study: artifact and trace counters disagree");
+                std::process::exit(1);
+            }
+        }
     }
 
     if chaos_failed {
         eprintln!("chaos study: unrecovered faults (see artifacts/BENCH_chaos.json)");
         std::process::exit(1);
     }
+    if analyze_failed {
+        eprintln!("analysis study: detector mismatch (see artifacts/BENCH_analyze.json)");
+        std::process::exit(1);
+    }
+}
+
+/// Cross-check the analysis artifact against the `analyze/...` counters
+/// the study published to the tracer: every total in the report must
+/// equal the summed counter deltas in the trace stream.
+fn reconcile_analysis(
+    report: &pdc_core::analysis::AnalysisReport,
+    events: &[pdc_trace::Event],
+) -> bool {
+    use pdc_trace::EventKind;
+    println!("================================================================");
+    println!("analysis reconciliation (artifact vs analyze/* trace counters)");
+    println!("================================================================");
+    let mut ok = true;
+    for (name, want) in report.counter_totals() {
+        let got: i64 = events
+            .iter()
+            .filter(|e| e.category == "analyze" && e.name == name)
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { delta } => Some(delta),
+                _ => None,
+            })
+            .sum();
+        let matches = got == want;
+        ok &= matches;
+        println!(
+            "  analyze/{name:<22} artifact {want:>4}  trace {got:>4}  {}",
+            if matches { "ok" } else { "MISMATCH" }
+        );
+    }
+    ok
 }
 
 /// Machine-readable run report: per-experiment wall timings plus trace

@@ -1,0 +1,401 @@
+//! The analysis study: both detectors exercised against known-racy,
+//! known-deadlocking, and known-clean workloads, plus the catalog lint.
+//!
+//! This is the static/dynamic-analysis counterpart of [`crate::chaos`]:
+//! where the chaos study proves the runtimes *recover* from injected
+//! faults, the analysis study proves the `pdc-analyze` detectors *find*
+//! the classroom bugs the patternlets teach — and stay silent on the
+//! correct versions. The output is an [`AnalysisReport`] written to
+//! `artifacts/BENCH_analyze.json` by `reproduce --analyze`; nothing in
+//! it depends on timing or interleaving, so two runs produce
+//! byte-identical artifacts.
+//!
+//! Four sections:
+//!
+//! * **race** — the race detector over the mutual-exclusion ladder:
+//!   `sm.race` must be flagged (with both racing sites), its fixed
+//!   variants must not.
+//! * **comm** — four canonical message-passing scenarios (clean
+//!   collectives, mismatched collective, mutual-receive deadlock,
+//!   unmatched send) with the exact diagnostic codes each must produce.
+//! * **studies** — the full Module A study under the race detector and
+//!   the full Module B study under the communication analyzer: the
+//!   paper's actual deliverables must analyze clean.
+//! * **lint** — [`pdc_analyze::lint::lint_catalog`] plus the Module A
+//!   courseware cross-check; any violation is reported verbatim.
+//!
+//! The per-detector finding counts are also published as `analyze/...`
+//! trace counters, so a `reproduce --analyze --trace` run can reconcile
+//! the artifact against the trace stream.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use pdc_analyze::{lint, with_comm_analysis, with_race_analysis};
+use pdc_mpc::World;
+use pdc_patternlets::registry;
+
+use crate::study::Scale;
+
+/// Parallel size the canonical analysis runs use.
+pub const ANALYZE_NP: usize = 4;
+
+/// Collective/receive timeout for the deliberately broken scenarios:
+/// long enough to be unambiguous, short enough to keep the study quick.
+const BROKEN_TIMEOUT: Duration = Duration::from_millis(75);
+
+/// The mutual-exclusion ladder: the broken rung and its fixes.
+const RACE_LADDER: &[(&str, bool)] = &[
+    ("sm.race", true),
+    ("sm.private", false),
+    ("sm.critical", false),
+    ("sm.atomic", false),
+    ("sm.locks", false),
+    ("sm.reduction", false),
+    ("sm.reduction.max", false),
+];
+
+/// One patternlet under the race detector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceRow {
+    /// Patternlet id.
+    pub id: String,
+    /// Whether the catalog says this one races.
+    pub expected_racy: bool,
+    /// Whether the detector flagged it.
+    pub detected: bool,
+    /// Number of distinct race diagnostics.
+    pub diagnostics: usize,
+    /// Racing sites (`file:line`), sorted and deduplicated.
+    pub sites: Vec<String>,
+    /// `detected == expected_racy`.
+    pub pass: bool,
+}
+
+/// One canonical communication scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommScenarioRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Diagnostic codes the scenario must produce (sorted).
+    pub expected: Vec<String>,
+    /// Codes actually produced (sorted, deduplicated).
+    pub found: Vec<String>,
+    /// `found == expected`.
+    pub pass: bool,
+}
+
+/// One full study run under a detector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyRow {
+    /// Study name.
+    pub study: String,
+    /// Which detector watched it.
+    pub detector: String,
+    /// Findings (must be zero).
+    pub diagnostics: usize,
+    /// First few findings, for the report reader.
+    pub sample: Vec<String>,
+    /// `diagnostics == 0`.
+    pub pass: bool,
+}
+
+/// The full analysis artifact (`artifacts/BENCH_analyze.json`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Parallel size of the canonical runs.
+    pub world_size: usize,
+    /// The mutual-exclusion ladder under the race detector.
+    pub race: Vec<RaceRow>,
+    /// The canonical communication scenarios.
+    pub comm: Vec<CommScenarioRow>,
+    /// The Module A/B studies under the detectors.
+    pub studies: Vec<StudyRow>,
+    /// Catalog + courseware lint violations (rendered; must be empty).
+    pub lint: Vec<String>,
+}
+
+impl AnalysisReport {
+    /// The gate `reproduce --analyze` exits nonzero on: every known-racy
+    /// workload detected, every known-clean workload unflagged, every
+    /// scenario producing exactly its expected codes, no lint findings.
+    pub fn passed(&self) -> bool {
+        self.race.iter().all(|r| r.pass)
+            && self.comm.iter().all(|c| c.pass)
+            && self.studies.iter().all(|s| s.pass)
+            && self.lint.is_empty()
+    }
+
+    /// Total race diagnostics across the ladder.
+    pub fn races_found(&self) -> usize {
+        self.race.iter().map(|r| r.diagnostics).sum()
+    }
+
+    fn scenario_code_count(&self, code: &str) -> usize {
+        self.comm
+            .iter()
+            .flat_map(|c| c.found.iter())
+            .filter(|c| c.as_str() == code)
+            .count()
+    }
+
+    /// The `analyze/...` counter totals this report publishes to the
+    /// tracer — `reproduce --analyze --trace` reconciles against these.
+    pub fn counter_totals(&self) -> Vec<(&'static str, i64)> {
+        vec![
+            ("races_found", self.races_found() as i64),
+            (
+                "collective_mismatches",
+                self.scenario_code_count("comm.collective-mismatch") as i64,
+            ),
+            (
+                "deadlock_cycles",
+                self.scenario_code_count("comm.deadlock-cycle") as i64,
+            ),
+            (
+                "unmatched_sends",
+                self.scenario_code_count("comm.unmatched-send") as i64,
+            ),
+            ("lint_violations", self.lint.len() as i64),
+        ]
+    }
+
+    /// Human-readable rendering for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = format!("Analysis study (np {}):\n", self.world_size);
+        out.push_str("  race detector over the mutual-exclusion ladder:\n");
+        for r in &self.race {
+            out.push_str(&format!(
+                "    {:<17} expected {:<9} -> {:<9} ({} diagnostics{}){}\n",
+                r.id,
+                if r.expected_racy { "racy" } else { "clean" },
+                if r.detected { "flagged" } else { "clean" },
+                r.diagnostics,
+                if r.sites.is_empty() {
+                    String::new()
+                } else {
+                    format!(" at {}", r.sites.join(", "))
+                },
+                if r.pass { "" } else { "  FAIL" },
+            ));
+        }
+        out.push_str("  communication scenarios:\n");
+        for c in &self.comm {
+            out.push_str(&format!(
+                "    {:<24} expected [{}] found [{}]{}\n",
+                c.scenario,
+                c.expected.join(", "),
+                c.found.join(", "),
+                if c.pass { "" } else { "  FAIL" },
+            ));
+        }
+        out.push_str("  full studies under analysis:\n");
+        for s in &self.studies {
+            out.push_str(&format!(
+                "    {:<28} [{}] {} findings{}\n",
+                s.study,
+                s.detector,
+                s.diagnostics,
+                if s.pass { "" } else { "  FAIL" },
+            ));
+            for line in &s.sample {
+                out.push_str(&format!("      {line}\n"));
+            }
+        }
+        out.push_str(&format!("  catalog lint: {} violations\n", self.lint.len()));
+        for v in &self.lint {
+            out.push_str(&format!("    {v}\n"));
+        }
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.passed() {
+                "known bugs detected, clean code unflagged"
+            } else {
+                "DETECTOR MISMATCH (see FAIL rows)"
+            }
+        ));
+        out
+    }
+
+    /// Deterministic JSON (no timings, no interleaving-dependent data —
+    /// byte-identical across runs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+fn race_row(id: &str, expected_racy: bool) -> RaceRow {
+    let p = registry::find(id).expect("ladder ids are in the catalog");
+    let (_, diags) = with_race_analysis(|| p.run(ANALYZE_NP));
+    let mut sites: Vec<String> = diags.iter().flat_map(|d| d.sites.iter().cloned()).collect();
+    sites.sort();
+    sites.dedup();
+    let detected = !diags.is_empty();
+    RaceRow {
+        id: id.to_owned(),
+        expected_racy,
+        detected,
+        diagnostics: diags.len(),
+        sites,
+        pass: detected == expected_racy,
+    }
+}
+
+fn comm_scenario(name: &str, expected: &[&str], f: impl FnOnce()) -> CommScenarioRow {
+    let (_, diags) = with_comm_analysis(f);
+    let mut found: Vec<String> = diags.iter().map(|d| d.code.clone()).collect();
+    found.sort();
+    found.dedup();
+    let mut expected: Vec<String> = expected.iter().map(|s| (*s).to_owned()).collect();
+    expected.sort();
+    let pass = found == expected;
+    CommScenarioRow {
+        scenario: name.to_owned(),
+        expected,
+        found,
+        pass,
+    }
+}
+
+fn comm_scenarios() -> Vec<CommScenarioRow> {
+    vec![
+        comm_scenario("clean collectives", &[], || {
+            World::new(2).run(|comm| {
+                let v = comm
+                    .bcast(0, if comm.rank() == 0 { Some(17u64) } else { None })
+                    .expect("bcast");
+                comm.barrier().expect("barrier");
+                let _ = comm.reduce(0, v, |a: u64, b| a + b).expect("reduce");
+            });
+        }),
+        comm_scenario(
+            "mismatched collective",
+            &["comm.collective-mismatch"],
+            || {
+                World::new(2)
+                    .with_collective_timeout(BROKEN_TIMEOUT)
+                    .run(|comm| {
+                        // Rank 0 broadcasts, rank 1 waits at a barrier:
+                        // the classic mismatched-collective bug. Both
+                        // time out; the analyzer sees the divergence.
+                        if comm.rank() == 0 {
+                            let _ = comm.bcast(0, Some(1u64));
+                        } else {
+                            let _ = comm.barrier();
+                        }
+                    });
+            },
+        ),
+        comm_scenario("send-recv deadlock", &["comm.deadlock-cycle"], || {
+            World::new(2).run(|comm| {
+                // Both ranks receive before sending — nobody ever sends,
+                // so both receives time out and the wait-for graph has
+                // the 0 -> 1 -> 0 cycle.
+                let other = 1 - comm.rank();
+                let _: Result<(u64, _), _> = comm.recv_timeout(other, 0, BROKEN_TIMEOUT);
+            });
+        }),
+        comm_scenario("unmatched send", &["comm.unmatched-send"], || {
+            World::new(2).run(|comm| {
+                // Rank 0 sends; rank 1 never posts the receive.
+                if comm.rank() == 0 {
+                    comm.send(1, 9, &42u64).expect("send");
+                }
+            });
+        }),
+    ]
+}
+
+fn study_rows(scale: Scale) -> Vec<StudyRow> {
+    let mut rows = Vec::new();
+
+    let (_, diags) = with_race_analysis(|| {
+        let _ = crate::study::module_a_study(scale);
+    });
+    rows.push(StudyRow {
+        study: "module A speedup study".to_owned(),
+        detector: "race".to_owned(),
+        diagnostics: diags.len(),
+        sample: diags.iter().take(3).map(|d| d.to_string()).collect(),
+        pass: diags.is_empty(),
+    });
+
+    let (_, diags) = with_comm_analysis(|| {
+        let _ = crate::study::module_b_study(scale);
+    });
+    rows.push(StudyRow {
+        study: "module B speedup study".to_owned(),
+        detector: "comm".to_owned(),
+        diagnostics: diags.len(),
+        sample: diags.iter().take(3).map(|d| d.to_string()).collect(),
+        pass: diags.is_empty(),
+    });
+
+    rows
+}
+
+/// Run the full analysis study. Deterministic: the race ladder verdicts
+/// follow from happens-before (not interleavings), the scenarios are
+/// fixed programs, and the lint is a pure function of the catalog.
+pub fn full_analysis(scale: Scale) -> AnalysisReport {
+    let race: Vec<RaceRow> = RACE_LADDER
+        .iter()
+        .map(|&(id, racy)| race_row(id, racy))
+        .collect();
+    let comm = comm_scenarios();
+    let studies = study_rows(scale);
+
+    let mut lint: Vec<String> = lint::lint_catalog().iter().map(|d| d.to_string()).collect();
+    lint.extend(
+        lint::lint_module(&crate::module_a::module())
+            .iter()
+            .map(|d| d.to_string()),
+    );
+    lint.sort();
+
+    let report = AnalysisReport {
+        world_size: ANALYZE_NP,
+        race,
+        comm,
+        studies,
+        lint,
+    };
+
+    // Publish the detector totals to the tracer so `--analyze --trace`
+    // can reconcile the artifact against the trace stream.
+    for (name, total) in report.counter_totals() {
+        pdc_trace::counter("analyze", name, total);
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_study_passes_and_pins_the_ladder() {
+        let report = full_analysis(Scale::Quick);
+        assert!(report.passed(), "{}", report.render());
+        let racy = &report.race[0];
+        assert_eq!(racy.id, "sm.race");
+        assert!(racy.detected);
+        assert_eq!(racy.diagnostics, 2, "read-write and write-write pairs");
+        assert_eq!(racy.sites.len(), 1, "both races are at the same line");
+        assert!(racy.sites[0].contains("races.rs:"), "{:?}", racy.sites);
+        assert!(report
+            .comm
+            .iter()
+            .any(|c| c.found.iter().any(|f| f == "comm.deadlock-cycle")));
+    }
+
+    #[test]
+    fn analysis_report_is_deterministic() {
+        let a = full_analysis(Scale::Quick);
+        let b = full_analysis(Scale::Quick);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -26,6 +26,7 @@
 //! println!("{}", pdc_core::experiments::run("fig2").unwrap());
 //! ```
 
+pub mod analysis;
 pub mod chaos;
 pub mod economics;
 pub mod experiments;

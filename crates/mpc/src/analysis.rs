@@ -1,0 +1,297 @@
+//! Per-rank communication recording for the `pdc-analyze` detectors.
+//!
+//! When a [`CommLog`](crate::analysis::CommLog) is attached to a
+//! [`World`](crate::World) — via [`World::with_analysis`] or the ambient
+//! [`arm`]/[`disarm`] pair — every rank's operations are recorded at the
+//! runtime's existing chokepoints: the single send path
+//! (`send_bytes_inner`), the single receive path (`recv_bytes_internal`),
+//! and the per-collective trace span (`cspan`). Each operation carries the
+//! acting rank and a per-rank sequence number, so an analyzer can replay
+//! each rank's program order and compare orders *across* ranks.
+//!
+//! The recording is deliberately dumb: no interpretation happens here.
+//! The wait-for graph, collective-mismatch, and unmatched-send analyses
+//! all live in `pdc-analyze`, keeping this crate free of any dependency
+//! on the analysis layer (the same inversion `pdc-trace` uses).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::envelope::{Source, Tag, TagSel};
+use crate::error::MpcError;
+
+/// One recorded operation kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// A point-to-point send left this rank.
+    Send {
+        /// Destination world rank.
+        dst: usize,
+        /// Message tag (negative = internal collective traffic).
+        tag: Tag,
+        /// Serialized payload size.
+        bytes: usize,
+        /// Whether this was user traffic (non-negative tag).
+        user: bool,
+        /// Whether a copy actually reached the destination mailbox
+        /// (`false` when the fault injector dropped it).
+        delivered: bool,
+    },
+    /// A receive completed on this rank.
+    RecvDone {
+        /// World rank of the sender.
+        src: usize,
+        /// Tag of the matched message.
+        tag: Tag,
+        /// Whether the matched message was user traffic.
+        user: bool,
+    },
+    /// A receive failed (timeout, peer death) on this rank.
+    RecvFailed {
+        /// The specific world rank waited on, if the receive named one
+        /// (`None` for `Source::Any`).
+        src: Option<usize>,
+        /// The tag waited for, if the receive named one.
+        tag: Option<Tag>,
+        /// Whether the receive would have matched user traffic.
+        user: bool,
+        /// Short failure label: `"timeout"`, `"peer-gone"`, …
+        reason: &'static str,
+    },
+    /// This rank entered a collective operation.
+    Collective {
+        /// The collective's name (`"barrier"`, `"bcast"`, …).
+        op: &'static str,
+        /// Communicator id the collective ran on.
+        comm: u64,
+    },
+}
+
+/// One operation as recorded: the acting world rank, its position in that
+/// rank's program order, and what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommOp {
+    /// Acting world rank.
+    pub rank: usize,
+    /// 0-based position in the rank's own operation sequence.
+    pub seq: usize,
+    /// The operation.
+    pub kind: OpKind,
+}
+
+/// Everything recorded during one `World::run`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// 0-based index of the run within the log's lifetime.
+    pub run: usize,
+    /// World size of the run.
+    pub np: usize,
+    /// All recorded operations, in recording order (interleaved across
+    /// ranks; use `rank`/`seq` to recover per-rank order).
+    pub ops: Vec<CommOp>,
+}
+
+impl RunRecord {
+    /// The operations of one rank, in program order.
+    pub fn rank_ops(&self, rank: usize) -> Vec<&CommOp> {
+        let mut ops: Vec<&CommOp> = self.ops.iter().filter(|o| o.rank == rank).collect();
+        ops.sort_by_key(|o| o.seq);
+        ops
+    }
+}
+
+/// A shared, cloneable sink for communication records. Attach one to a
+/// [`World`](crate::World) with [`World::with_analysis`], run, then
+/// [`CommLog::take`] the per-run records for analysis.
+#[derive(Debug, Clone, Default)]
+pub struct CommLog {
+    inner: Arc<CommLogInner>,
+}
+
+#[derive(Debug, Default)]
+struct CommLogInner {
+    next_run: AtomicUsize,
+    runs: Mutex<Vec<RunRecord>>,
+}
+
+impl CommLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove and return every completed run record.
+    pub fn take(&self) -> Vec<RunRecord> {
+        std::mem::take(&mut *lock(&self.inner.runs))
+    }
+
+    /// Number of completed runs currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.inner.runs).len()
+    }
+
+    /// Whether no run has completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn start_run(&self, np: usize) -> RunRecorder {
+        RunRecorder {
+            log: self.clone(),
+            run: self.inner.next_run.fetch_add(1, Ordering::Relaxed),
+            np,
+            seqs: (0..np).map(|_| AtomicUsize::new(0)).collect(),
+            ops: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Live recorder for one `World::run`; held by the fabric.
+#[derive(Debug)]
+pub(crate) struct RunRecorder {
+    log: CommLog,
+    run: usize,
+    np: usize,
+    seqs: Vec<AtomicUsize>,
+    ops: Mutex<Vec<CommOp>>,
+}
+
+impl RunRecorder {
+    pub(crate) fn record(&self, rank: usize, kind: OpKind) {
+        let seq = self.seqs[rank].fetch_add(1, Ordering::Relaxed);
+        lock(&self.ops).push(CommOp { rank, seq, kind });
+    }
+
+    /// Called once, after every rank has been joined: publish the run.
+    /// (`&self` because the recorder lives inside the `Arc`-shared
+    /// fabric; the drained ops make a second call a harmless no-op.)
+    pub(crate) fn finish(&self) {
+        let ops = std::mem::take(&mut *lock(&self.ops));
+        lock(&self.log.inner.runs).push(RunRecord {
+            run: self.run,
+            np: self.np,
+            ops,
+        });
+    }
+}
+
+/// Classify a receive failure for the record.
+pub(crate) fn failure_reason(err: &MpcError) -> &'static str {
+    match err {
+        MpcError::Timeout { .. } => "timeout",
+        MpcError::PeerGone { .. } => "peer-gone",
+        MpcError::Crashed { .. } => "crashed",
+        _ => "error",
+    }
+}
+
+/// The source a failed receive was waiting on, as a world rank.
+pub(crate) fn failed_src(src: Source, group: &[usize]) -> Option<usize> {
+    match src {
+        Source::Rank(r) => group.get(r).copied(),
+        Source::Any => None,
+    }
+}
+
+/// The tag a failed receive was waiting on, if specific.
+pub(crate) fn failed_tag(tag: TagSel) -> Option<Tag> {
+    match tag {
+        TagSel::Tag(t) => Some(t),
+        TagSel::Any => None,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ambient (process-global) attachment, mirroring the pdc-trace design:
+// lets harnesses record worlds they don't construct themselves (e.g. the
+// patternlet runners, which build their own `World`).
+// ----------------------------------------------------------------------
+
+static AMBIENT_ON: AtomicBool = AtomicBool::new(false);
+static AMBIENT: RwLock<Option<CommLog>> = RwLock::new(None);
+
+/// Attach `log` to every `World::run` in this process that does not carry
+/// its own [`World::with_analysis`] log, until [`disarm`] is called.
+/// Harnesses are expected to serialize themselves (the ones in
+/// `pdc-analyze` hold a session lock).
+pub fn arm(log: CommLog) {
+    *AMBIENT.write().unwrap_or_else(|e| e.into_inner()) = Some(log);
+    AMBIENT_ON.store(true, Ordering::SeqCst);
+}
+
+/// Detach the ambient log.
+pub fn disarm() {
+    AMBIENT_ON.store(false, Ordering::SeqCst);
+    *AMBIENT.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+pub(crate) fn ambient() -> Option<CommLog> {
+    if !AMBIENT_ON.load(Ordering::Relaxed) {
+        return None;
+    }
+    AMBIENT
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_starts_empty_and_runs_accumulate() {
+        let log = CommLog::new();
+        assert!(log.is_empty());
+        let rec = log.start_run(2);
+        rec.record(
+            0,
+            OpKind::Send {
+                dst: 1,
+                tag: 0,
+                bytes: 4,
+                user: true,
+                delivered: true,
+            },
+        );
+        rec.record(
+            1,
+            OpKind::RecvDone {
+                src: 0,
+                tag: 0,
+                user: true,
+            },
+        );
+        rec.finish();
+        let runs = log.take();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].np, 2);
+        assert_eq!(runs[0].ops.len(), 2);
+        assert_eq!(runs[0].rank_ops(0).len(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn per_rank_sequence_numbers_are_dense() {
+        let log = CommLog::new();
+        let rec = log.start_run(1);
+        for _ in 0..3 {
+            rec.record(
+                0,
+                OpKind::Collective {
+                    op: "barrier",
+                    comm: 0,
+                },
+            );
+        }
+        rec.finish();
+        let runs = log.take();
+        let seqs: Vec<usize> = runs[0].rank_ops(0).iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -52,7 +52,21 @@ impl Comm {
     /// Open a trace span for a collective, tagged with this rank's view
     /// of the call. Each rank records its own span, so a timeline shows
     /// who arrived late (skew) and who waited.
+    ///
+    /// Also the collective chokepoint for the communication log: every
+    /// public collective opens exactly one `cspan`, so recording here
+    /// gives the analyzer one `Collective` entry per rank per call — the
+    /// per-rank sequences the mismatch detector compares.
     fn cspan(&self, name: &'static str) -> pdc_trace::SpanGuard {
+        if let Some(rec) = &self.fabric.analysis {
+            rec.record(
+                self.world_rank(self.rank),
+                crate::analysis::OpKind::Collective {
+                    op: name,
+                    comm: self.comm_id,
+                },
+            );
+        }
         let mut span = pdc_trace::span("mpc", name);
         span.arg("rank", self.rank);
         span.arg("size", self.size());

@@ -139,6 +139,7 @@ impl Comm {
         self.check_rank(dest)?;
         let src_w = self.world_rank(self.rank);
         let dst_w = self.world_rank(dest);
+        let payload_len = payload.len();
         let mut span = pdc_trace::span("mpc", "send");
         span.arg("src", src_w);
         span.arg("dst", dst_w);
@@ -162,6 +163,7 @@ impl Comm {
         };
         let Some(inj) = &self.fabric.injector else {
             deliver(env);
+            self.record_send(src_w, dst_w, tag, payload_len, true);
             return Ok(SendOutcome::Delivered);
         };
         // Straggler delay applies to first transmissions only: exempting
@@ -184,6 +186,7 @@ impl Comm {
             pdc_chaos::SendFault::Deliver => deliver(env),
             pdc_chaos::SendFault::Drop => {
                 span.arg("fault", "drop");
+                self.record_send(src_w, dst_w, tag, payload_len, false);
                 return Ok(SendOutcome::InjectedDrop);
             }
             pdc_chaos::SendFault::Duplicate => {
@@ -208,7 +211,25 @@ impl Comm {
                 self.fabric.mailboxes[dst_w].deposit_front(env);
             }
         }
+        self.record_send(src_w, dst_w, tag, payload_len, true);
         Ok(SendOutcome::Delivered)
+    }
+
+    /// Record one send at the chokepoint, if a communication log is
+    /// attached to this world.
+    fn record_send(&self, src_w: usize, dst_w: usize, tag: Tag, bytes: usize, delivered: bool) {
+        if let Some(rec) = &self.fabric.analysis {
+            rec.record(
+                src_w,
+                crate::analysis::OpKind::Send {
+                    dst: dst_w,
+                    tag,
+                    bytes,
+                    user: tag >= 0,
+                    delivered,
+                },
+            );
+        }
     }
 
     pub(crate) fn recv_bytes_internal(
@@ -221,13 +242,46 @@ impl Comm {
         // The span covers the blocking wait, so its duration is the time
         // this rank spent idle for the message.
         let mut span = pdc_trace::span("mpc", "recv");
-        let env = self.fabric.mailboxes[me].take_matching_checked(
+        let env = match self.fabric.mailboxes[me].take_matching_checked(
             self.comm_id,
             src,
             tag,
             timeout,
             &self.peer_gone_check(src),
-        )?;
+        ) {
+            Ok(env) => env,
+            Err(e) => {
+                // Record the *failed* wait: this rank was blocked on `src`
+                // and never got a message — the raw material of the
+                // wait-for graph the deadlock analyzer builds.
+                if let Some(rec) = &self.fabric.analysis {
+                    let user = match tag {
+                        TagSel::Tag(t) => t >= 0,
+                        TagSel::Any => true,
+                    };
+                    rec.record(
+                        me,
+                        crate::analysis::OpKind::RecvFailed {
+                            src: crate::analysis::failed_src(src, &self.group),
+                            tag: crate::analysis::failed_tag(tag),
+                            user,
+                            reason: crate::analysis::failure_reason(&e),
+                        },
+                    );
+                }
+                return Err(e);
+            }
+        };
+        if let Some(rec) = &self.fabric.analysis {
+            rec.record(
+                me,
+                crate::analysis::OpKind::RecvDone {
+                    src: self.world_rank(env.src),
+                    tag: env.tag,
+                    user: env.tag >= 0,
+                },
+            );
+        }
         span.arg("src", self.world_rank(env.src));
         span.arg("dst", me);
         span.arg("tag", env.tag);

@@ -52,6 +52,7 @@
 //! assert!(greetings[2].starts_with("Greetings from process 2 of 4"));
 //! ```
 
+pub mod analysis;
 pub mod cart;
 pub mod collectives;
 pub mod comm;
@@ -63,6 +64,7 @@ pub mod reduce_op;
 pub mod traffic;
 pub mod world;
 
+pub use analysis::CommLog;
 pub use cart::{dims_create, CartComm};
 pub use collectives::CollectiveAlgo;
 pub use comm::{Comm, RecvRequest, SendRequest, Status};

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use pdc_chaos::{FaultInjector, FaultPlan, RetryPolicy};
 
+use crate::analysis::{CommLog, RunRecorder};
 use crate::collectives::CollectiveAlgo;
 use crate::comm::Comm;
 use crate::failure::DeadSet;
@@ -32,6 +33,7 @@ pub(crate) struct Fabric {
     pub(crate) dead: DeadSet,
     pub(crate) collective_timeout: Duration,
     pub(crate) retry: RetryPolicy,
+    pub(crate) analysis: Option<RunRecorder>,
     next_comm_id: AtomicU64,
 }
 
@@ -59,6 +61,7 @@ pub struct World {
     injector: Option<Arc<FaultInjector>>,
     collective_timeout: Duration,
     retry: RetryPolicy,
+    analysis: Option<CommLog>,
 }
 
 impl World {
@@ -73,6 +76,7 @@ impl World {
             injector: None,
             collective_timeout: DEFAULT_COLLECTIVE_TIMEOUT,
             retry: RetryPolicy::default(),
+            analysis: None,
         }
     }
 
@@ -130,6 +134,15 @@ impl World {
         self
     }
 
+    /// Record every rank's communication operations into `log` — the hook
+    /// the `pdc-analyze` communication analyzer consumes. One log may be
+    /// shared across several worlds/runs; each `run` produces one
+    /// [`crate::analysis::RunRecord`].
+    pub fn with_analysis(mut self, log: CommLog) -> Self {
+        self.analysis = Some(log);
+        self
+    }
+
     /// Run `body` on every rank, each on its own OS thread, passing the
     /// world communicator. Returns every rank's result, in rank order —
     /// `mpirun -np N`, with the process's exit values collected.
@@ -169,6 +182,9 @@ impl World {
         F: Fn(Comm) -> T + Sync,
         T: Send,
     {
+        // Per-world log wins over the ambient one, so a harness can arm a
+        // process-wide log without hijacking explicitly-attached worlds.
+        let analysis_log = self.analysis.clone().or_else(crate::analysis::ambient);
         let fabric = Arc::new(Fabric {
             mailboxes: (0..self.np).map(|_| Arc::new(Mailbox::new())).collect(),
             hostnames: self.hostnames.clone(),
@@ -178,6 +194,7 @@ impl World {
             dead: DeadSet::new(),
             collective_timeout: self.collective_timeout,
             retry: self.retry,
+            analysis: analysis_log.map(|log| log.start_run(self.np)),
             next_comm_id: AtomicU64::new(1),
         });
         let group: Arc<Vec<usize>> = Arc::new((0..self.np).collect());
@@ -218,6 +235,9 @@ impl World {
                 }
             }
         });
+        if let Some(rec) = &fabric.analysis {
+            rec.finish();
+        }
         let traffic = fabric.traffic.as_ref().map(|t| t.snapshot());
         (
             results

@@ -10,22 +10,20 @@ pub mod worker;
 use crate::Patternlet;
 
 /// All message-passing patternlets, in notebook order.
-pub fn all() -> Vec<&'static Patternlet> {
-    vec![
-        &basics::SPMD,
-        &basics::ORDERED,
-        &p2p::SEND_RECV,
-        &p2p::RING_PASS,
-        &p2p::EXCHANGE,
-        &p2p::DEADLOCK,
-        &worker::MASTER_WORKER,
-        &worker::EQUAL_CHUNKS,
-        &worker::CHUNKS_OF_ONE,
-        &collectives::BROADCAST,
-        &collectives::SCATTER,
-        &collectives::GATHER,
-        &collectives::ALLGATHER,
-        &collectives::REDUCE,
-        &collectives::SCAN,
-    ]
-}
+pub static ALL: &[&Patternlet] = &[
+    &basics::SPMD,
+    &basics::ORDERED,
+    &p2p::SEND_RECV,
+    &p2p::RING_PASS,
+    &p2p::EXCHANGE,
+    &p2p::DEADLOCK,
+    &worker::MASTER_WORKER,
+    &worker::EQUAL_CHUNKS,
+    &worker::CHUNKS_OF_ONE,
+    &collectives::BROADCAST,
+    &collectives::SCATTER,
+    &collectives::GATHER,
+    &collectives::ALLGATHER,
+    &collectives::REDUCE,
+    &collectives::SCAN,
+];

@@ -1,31 +1,33 @@
 //! The patternlet registry: lookup by id, filters by paradigm/pattern.
+//!
+//! Allocation-free: the catalog lives in two `static` slices
+//! ([`crate::sm::ALL`], [`crate::mp::ALL`]), so lookups iterate borrowed
+//! entries instead of collecting a fresh `Vec` per call.
 
 use crate::{mp, sm, Paradigm, Pattern, Patternlet};
 
 /// Every patternlet in the catalog: shared-memory first (Module A order),
 /// then message-passing (Module B / notebook order).
-pub fn all() -> Vec<&'static Patternlet> {
-    let mut v = sm::all();
-    v.extend(mp::all());
-    v
+pub fn all() -> impl Iterator<Item = &'static Patternlet> {
+    sm::ALL.iter().copied().chain(mp::ALL.iter().copied())
 }
 
 /// Look a patternlet up by its stable id (e.g. `"sm.race"`, `"mp.spmd"`).
 pub fn find(id: &str) -> Option<&'static Patternlet> {
-    all().into_iter().find(|p| p.id == id)
+    all().find(|p| p.id == id)
 }
 
-/// All patternlets of one paradigm.
-pub fn by_paradigm(paradigm: Paradigm) -> Vec<&'static Patternlet> {
-    all()
-        .into_iter()
-        .filter(|p| p.paradigm == paradigm)
-        .collect()
+/// All patternlets of one paradigm, as the catalog's static slice.
+pub fn by_paradigm(paradigm: Paradigm) -> &'static [&'static Patternlet] {
+    match paradigm {
+        Paradigm::SharedMemory => sm::ALL,
+        Paradigm::MessagePassing => mp::ALL,
+    }
 }
 
 /// All patternlets teaching one pattern.
-pub fn by_pattern(pattern: Pattern) -> Vec<&'static Patternlet> {
-    all().into_iter().filter(|p| p.pattern == pattern).collect()
+pub fn by_pattern(pattern: Pattern) -> impl Iterator<Item = &'static Patternlet> {
+    all().filter(move |p| p.pattern == pattern)
 }
 
 #[cfg(test)]
@@ -33,15 +35,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn catalog_size_and_split() {
-        assert_eq!(all().len(), 32);
-        assert_eq!(by_paradigm(Paradigm::SharedMemory).len(), 17);
-        assert_eq!(by_paradigm(Paradigm::MessagePassing).len(), 15);
+    fn catalog_invariants() {
+        // Deliberately *not* a hard-coded size: the catalog may grow.
+        // What must hold: both paradigms are represented, the paradigm
+        // slices partition the catalog, and ids are unique (below).
+        assert!(!by_paradigm(Paradigm::SharedMemory).is_empty());
+        assert!(!by_paradigm(Paradigm::MessagePassing).is_empty());
+        assert_eq!(
+            all().count(),
+            by_paradigm(Paradigm::SharedMemory).len() + by_paradigm(Paradigm::MessagePassing).len()
+        );
+        for p in by_paradigm(Paradigm::SharedMemory) {
+            assert_eq!(p.paradigm, Paradigm::SharedMemory, "{}", p.id);
+        }
+        for p in by_paradigm(Paradigm::MessagePassing) {
+            assert_eq!(p.paradigm, Paradigm::MessagePassing, "{}", p.id);
+        }
     }
 
     #[test]
     fn ids_are_unique() {
-        let mut ids: Vec<&str> = all().iter().map(|p| p.id).collect();
+        let mut ids: Vec<&str> = all().map(|p| p.id).collect();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
@@ -66,6 +80,14 @@ mod tests {
     }
 
     #[test]
+    fn find_agrees_with_catalog_order() {
+        for p in all() {
+            let found = find(p.id).expect("every catalog id resolves");
+            assert!(std::ptr::eq(found, p), "{} resolves elsewhere", p.id);
+        }
+    }
+
+    #[test]
     fn every_patternlet_has_source_and_teaches() {
         for p in all() {
             assert!(!p.source.trim().is_empty(), "{} has no listing", p.id);
@@ -85,7 +107,10 @@ mod tests {
             Pattern::CollectiveCommunication,
             Pattern::MessagePassing,
         ] {
-            assert!(!by_pattern(pat).is_empty(), "{pat:?} has no patternlets");
+            assert!(
+                by_pattern(pat).next().is_some(),
+                "{pat:?} has no patternlets"
+            );
         }
     }
 

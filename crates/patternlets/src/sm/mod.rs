@@ -8,24 +8,22 @@ use crate::Patternlet;
 
 /// All shared-memory patternlets, in the order the virtual handout
 /// presents them.
-pub fn all() -> Vec<&'static Patternlet> {
-    vec![
-        &basics::SPMD,
-        &basics::FORK_JOIN,
-        &basics::BARRIER,
-        &basics::MASTER,
-        &basics::SINGLE,
-        &basics::SECTIONS,
-        &loops::EQUAL_CHUNKS,
-        &loops::CHUNKS_OF_ONE,
-        &loops::DYNAMIC_SCHEDULE,
-        &loops::ORDERED,
-        &races::PRIVATE_VAR,
-        &races::RACE_CONDITION,
-        &races::CRITICAL_FIX,
-        &races::ATOMIC_FIX,
-        &races::LOCK_FIX,
-        &races::REDUCTION_SUM,
-        &races::REDUCTION_MAX,
-    ]
-}
+pub static ALL: &[&Patternlet] = &[
+    &basics::SPMD,
+    &basics::FORK_JOIN,
+    &basics::BARRIER,
+    &basics::MASTER,
+    &basics::SINGLE,
+    &basics::SECTIONS,
+    &loops::EQUAL_CHUNKS,
+    &loops::CHUNKS_OF_ONE,
+    &loops::DYNAMIC_SCHEDULE,
+    &loops::ORDERED,
+    &races::PRIVATE_VAR,
+    &races::RACE_CONDITION,
+    &races::CRITICAL_FIX,
+    &races::ATOMIC_FIX,
+    &races::LOCK_FIX,
+    &races::REDUCTION_SUM,
+    &races::REDUCTION_MAX,
+];

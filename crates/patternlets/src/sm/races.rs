@@ -3,7 +3,7 @@
 //! race-condition section), plus private variables and max-reductions.
 
 use parking_lot::Mutex;
-use pdc_shmem::sync::{AtomicCounter, SpinLock};
+use pdc_shmem::sync::{AtomicCounter, SpinLock, Tracked};
 use pdc_shmem::{parallel_for, parallel_reduce, Schedule, Team};
 
 use crate::{Paradigm, Pattern, Patternlet, RunOutput};
@@ -99,18 +99,21 @@ for (int i = 0; i < numThreads * 10000; ++i) {
     balance = balance + 1;
 }"#,
     runner: |n| {
-        let balance = Mutex::new(0u64);
+        // A `Tracked` cell: the same plain shared variable as `sm.race`,
+        // but every access happens inside the critical section — so the
+        // race detector sees the accesses and must prove them ordered.
+        let balance = Tracked::new(0u64);
         parallel_for(
             &Team::new(n),
             0..n * ADDS_PER_THREAD,
             Schedule::default(),
             |_, ctx| {
                 ctx.critical("balance", || {
-                    *balance.lock() += 1;
+                    balance.update(|v| *v += 1);
                 });
             },
         );
-        let got = *balance.lock();
+        let got = balance.with(|v| *v);
         RunOutput {
             lines: vec![
                 format!("Expected sum: {}", expected(n)),

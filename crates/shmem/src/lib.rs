@@ -58,6 +58,7 @@
 //! ```
 
 pub mod constructs;
+pub mod hooks;
 pub mod ordered;
 pub mod parallel_for;
 pub mod pool;

@@ -7,6 +7,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
+
 /// A 64-bit float supporting atomic read-modify-write via CAS.
 #[derive(Debug, Default)]
 pub struct AtomicF64 {
@@ -21,19 +23,34 @@ impl AtomicF64 {
         }
     }
 
+    fn emit(&self, kind: AccessKind, site: Site) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(&self.bits as *const _),
+            what: "AtomicF64",
+            kind,
+            site,
+        });
+    }
+
     /// Atomic load.
+    #[track_caller]
     pub fn load(&self, order: Ordering) -> f64 {
+        self.emit(AccessKind::AtomicRead, Site::caller());
         f64::from_bits(self.bits.load(order))
     }
 
     /// Atomic store.
+    #[track_caller]
     pub fn store(&self, value: f64, order: Ordering) {
+        self.emit(AccessKind::AtomicWrite, Site::caller());
         self.bits.store(value.to_bits(), order);
     }
 
     /// Atomically apply `f` to the current value, retrying on contention.
     /// Returns the previous value.
+    #[track_caller]
     pub fn fetch_update_with<F: Fn(f64) -> f64>(&self, f: F) -> f64 {
+        self.emit(AccessKind::AtomicRmw, Site::caller());
         let mut cur = self.bits.load(Ordering::Relaxed);
         loop {
             let next = f(f64::from_bits(cur)).to_bits();
@@ -48,11 +65,13 @@ impl AtomicF64 {
     }
 
     /// Atomic `+=`; returns the previous value.
+    #[track_caller]
     pub fn fetch_add(&self, delta: f64) -> f64 {
         self.fetch_update_with(|v| v + delta)
     }
 
     /// Atomic max-in-place; returns the previous value.
+    #[track_caller]
     pub fn fetch_max(&self, other: f64) -> f64 {
         self.fetch_update_with(|v| v.max(other))
     }

@@ -12,6 +12,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
+
 /// A shared integer counter with both correct and intentionally racy
 /// update paths.
 #[derive(Debug, Default)]
@@ -27,30 +29,53 @@ impl AtomicCounter {
         }
     }
 
+    fn emit(&self, kind: AccessKind, site: Site) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(&self.value as *const _),
+            what: "AtomicCounter",
+            kind,
+            site,
+        });
+    }
+
     /// Correct atomic increment (`#pragma omp atomic`).
+    #[track_caller]
     pub fn add(&self, delta: u64) -> u64 {
+        self.emit(AccessKind::AtomicRmw, Site::caller());
         self.value.fetch_add(delta, Ordering::Relaxed)
     }
 
     /// **Deliberately racy** increment: read, yield, write. Two threads
     /// interleaving here both read the same old value and one update is
     /// lost — the classic race-condition demonstration.
+    ///
+    /// Reported to the analysis hooks as a *plain* read followed by a
+    /// *plain* write, because in the modelled program (`counter++` on a
+    /// shared variable) that is exactly what happens.
+    #[track_caller]
     pub fn add_racy(&self, delta: u64) {
+        let site = Site::caller();
+        self.emit(AccessKind::Read, site);
         let read = self.value.load(Ordering::Relaxed);
         // Hand the scheduler a chance to interleave another thread's
         // read-modify-write between our read and our write. This makes the
         // lost-update window reliably observable even on one core.
         std::thread::yield_now();
         self.value.store(read + delta, Ordering::Relaxed);
+        self.emit(AccessKind::Write, site);
     }
 
     /// Current value.
+    #[track_caller]
     pub fn get(&self) -> u64 {
+        self.emit(AccessKind::AtomicRead, Site::caller());
         self.value.load(Ordering::Relaxed)
     }
 
     /// Reset to zero.
+    #[track_caller]
     pub fn reset(&self) {
+        self.emit(AccessKind::AtomicWrite, Site::caller());
         self.value.store(0, Ordering::Relaxed);
     }
 }

@@ -10,6 +10,7 @@ mod counter;
 mod rwlock;
 mod spinlock;
 mod ticket;
+mod tracked;
 
 pub use atomicf64::AtomicF64;
 pub use barrier::{Barrier, BarrierKind, BlockingBarrier, SenseBarrier};
@@ -17,6 +18,7 @@ pub use counter::AtomicCounter;
 pub use rwlock::{ReadGuard, RwSpinLock, WriteGuard};
 pub use spinlock::{SpinLock, SpinLockGuard};
 pub use ticket::{TicketLock, TicketLockGuard};
+pub use tracked::Tracked;
 
 /// Spin-wait backoff: spin briefly, then yield to the scheduler.
 ///

@@ -16,6 +16,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use super::backoff;
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
 
 const WRITER: usize = usize::MAX;
 
@@ -40,7 +41,9 @@ impl<T> RwSpinLock<T> {
     }
 
     /// Acquire a shared (read) guard; many may coexist.
+    #[track_caller]
     pub fn read(&self) -> ReadGuard<'_, T> {
+        let site = Site::caller();
         let mut tries = 0u32;
         loop {
             let s = self.state.load(Ordering::Relaxed);
@@ -51,7 +54,10 @@ impl<T> RwSpinLock<T> {
                     .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
-                return ReadGuard { lock: self };
+                hooks::emit(&SyncEvent::AcquireShared {
+                    lock: hooks::obj_id(self as *const _),
+                });
+                return ReadGuard { lock: self, site };
             }
             backoff(tries);
             tries = tries.saturating_add(1);
@@ -59,7 +65,9 @@ impl<T> RwSpinLock<T> {
     }
 
     /// Acquire the exclusive (write) guard.
+    #[track_caller]
     pub fn write(&self) -> WriteGuard<'_, T> {
+        let site = Site::caller();
         let mut tries = 0u32;
         loop {
             if self
@@ -67,7 +75,10 @@ impl<T> RwSpinLock<T> {
                 .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
-                return WriteGuard { lock: self };
+                hooks::emit(&SyncEvent::Acquire {
+                    lock: hooks::obj_id(self as *const _),
+                });
+                return WriteGuard { lock: self, site };
             }
             backoff(tries);
             tries = tries.saturating_add(1);
@@ -75,11 +86,20 @@ impl<T> RwSpinLock<T> {
     }
 
     /// Try to acquire the write guard without waiting.
+    #[track_caller]
     pub fn try_write(&self) -> Option<WriteGuard<'_, T>> {
+        // Capture before the closure: `#[track_caller]` does not propagate
+        // into closure bodies.
+        let site = Site::caller();
         self.state
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
             .ok()
-            .map(|_| WriteGuard { lock: self })
+            .map(|_| {
+                hooks::emit(&SyncEvent::Acquire {
+                    lock: hooks::obj_id(self as *const _),
+                });
+                WriteGuard { lock: self, site }
+            })
     }
 
     /// Number of active readers (0 if a writer holds it); diagnostic.
@@ -99,11 +119,20 @@ impl<T> RwSpinLock<T> {
 /// Shared guard.
 pub struct ReadGuard<'a, T> {
     lock: &'a RwSpinLock<T>,
+    // Where the guard was acquired; `Deref` cannot carry `#[track_caller]`,
+    // so accesses through the guard are attributed to the `read()` call.
+    site: Site,
 }
 
 impl<T> Deref for ReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(self.lock.value.get() as *const T),
+            what: "RwSpinLock",
+            kind: AccessKind::Read,
+            site: self.site,
+        });
         // SAFETY: readers hold state > 0, excluding writers.
         unsafe { &*self.lock.value.get() }
     }
@@ -111,6 +140,11 @@ impl<T> Deref for ReadGuard<'_, T> {
 
 impl<T> Drop for ReadGuard<'_, T> {
     fn drop(&mut self) {
+        // Emit before the decrement so the observer orders this release
+        // ahead of any writer's subsequent Acquire.
+        hooks::emit(&SyncEvent::ReleaseShared {
+            lock: hooks::obj_id(self.lock as *const _),
+        });
         self.lock.state.fetch_sub(1, Ordering::Release);
     }
 }
@@ -118,11 +152,25 @@ impl<T> Drop for ReadGuard<'_, T> {
 /// Exclusive guard.
 pub struct WriteGuard<'a, T> {
     lock: &'a RwSpinLock<T>,
+    // Acquisition site, reused for guard accesses (see `ReadGuard`).
+    site: Site,
+}
+
+impl<T> WriteGuard<'_, T> {
+    fn emit_access(&self, kind: AccessKind) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(self.lock.value.get() as *const T),
+            what: "RwSpinLock",
+            kind,
+            site: self.site,
+        });
+    }
 }
 
 impl<T> Deref for WriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        self.emit_access(AccessKind::Read);
         // SAFETY: the writer holds exclusive access.
         unsafe { &*self.lock.value.get() }
     }
@@ -130,6 +178,7 @@ impl<T> Deref for WriteGuard<'_, T> {
 
 impl<T> DerefMut for WriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        self.emit_access(AccessKind::Write);
         // SAFETY: the writer holds exclusive access.
         unsafe { &mut *self.lock.value.get() }
     }
@@ -137,6 +186,10 @@ impl<T> DerefMut for WriteGuard<'_, T> {
 
 impl<T> Drop for WriteGuard<'_, T> {
     fn drop(&mut self) {
+        // Emit before the store that frees the lock (see `ReadGuard`).
+        hooks::emit(&SyncEvent::Release {
+            lock: hooks::obj_id(self.lock as *const _),
+        });
         self.lock.state.store(0, Ordering::Release);
     }
 }

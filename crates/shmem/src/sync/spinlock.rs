@@ -11,6 +11,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use super::backoff;
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
 
 /// A mutual-exclusion spin lock protecting a value of type `T`.
 pub struct SpinLock<T> {
@@ -33,7 +34,9 @@ impl<T> SpinLock<T> {
     }
 
     /// Acquire the lock, spinning (with yielding backoff) until available.
+    #[track_caller]
     pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        let site = Site::caller();
         let mut tries = 0u32;
         loop {
             // Test-and-test-and-set: only attempt the RMW when the lock
@@ -50,7 +53,10 @@ impl<T> SpinLock<T> {
                     // was this lock busy?", not "how long did we wait?".
                     pdc_trace::counter("shmem", "spinlock_contended", 1);
                 }
-                return SpinLockGuard { lock: self };
+                hooks::emit(&SyncEvent::Acquire {
+                    lock: hooks::obj_id(self as *const _),
+                });
+                return SpinLockGuard { lock: self, site };
             }
             backoff(tries);
             tries = tries.saturating_add(1);
@@ -58,13 +64,20 @@ impl<T> SpinLock<T> {
     }
 
     /// Try to acquire without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
         if self
             .locked
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
-            Some(SpinLockGuard { lock: self })
+            hooks::emit(&SyncEvent::Acquire {
+                lock: hooks::obj_id(self as *const _),
+            });
+            Some(SpinLockGuard {
+                lock: self,
+                site: Site::caller(),
+            })
         } else {
             None
         }
@@ -85,11 +98,26 @@ impl<T> SpinLock<T> {
 /// RAII guard; releases the lock on drop.
 pub struct SpinLockGuard<'a, T> {
     lock: &'a SpinLock<T>,
+    // Where the guard was acquired; `Deref` cannot carry `#[track_caller]`,
+    // so accesses through the guard are attributed to the `lock()` call.
+    site: Site,
+}
+
+impl<T> SpinLockGuard<'_, T> {
+    fn emit_access(&self, kind: AccessKind) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(self.lock.value.get() as *const T),
+            what: "SpinLock",
+            kind,
+            site: self.site,
+        });
+    }
 }
 
 impl<T> Deref for SpinLockGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        self.emit_access(AccessKind::Read);
         // SAFETY: holding the guard means we hold the lock.
         unsafe { &*self.lock.value.get() }
     }
@@ -97,6 +125,7 @@ impl<T> Deref for SpinLockGuard<'_, T> {
 
 impl<T> DerefMut for SpinLockGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        self.emit_access(AccessKind::Write);
         // SAFETY: holding the guard means we hold the lock exclusively.
         unsafe { &mut *self.lock.value.get() }
     }
@@ -104,6 +133,11 @@ impl<T> DerefMut for SpinLockGuard<'_, T> {
 
 impl<T> Drop for SpinLockGuard<'_, T> {
     fn drop(&mut self) {
+        // The observer must see our Release before any later Acquire, so
+        // emit before the store that actually frees the lock.
+        hooks::emit(&SyncEvent::Release {
+            lock: hooks::obj_id(self.lock as *const _),
+        });
         self.lock.locked.store(false, Ordering::Release);
     }
 }

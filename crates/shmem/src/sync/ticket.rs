@@ -12,6 +12,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use super::backoff;
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
 
 /// A fair (FIFO) spin lock protecting a value of type `T`.
 pub struct TicketLock<T> {
@@ -35,7 +36,9 @@ impl<T> TicketLock<T> {
     }
 
     /// Acquire in FIFO order.
+    #[track_caller]
     pub fn lock(&self) -> TicketLockGuard<'_, T> {
+        let site = Site::caller();
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut tries = 0u32;
         while self.now_serving.load(Ordering::Acquire) != ticket {
@@ -47,7 +50,10 @@ impl<T> TicketLock<T> {
             // ahead of it, mirroring the SpinLock contention counter.
             pdc_trace::counter("shmem", "ticketlock_contended", 1);
         }
-        TicketLockGuard { lock: self }
+        hooks::emit(&SyncEvent::Acquire {
+            lock: hooks::obj_id(self as *const _),
+        });
+        TicketLockGuard { lock: self, site }
     }
 
     /// Number of threads that have requested the lock so far (diagnostic).
@@ -64,11 +70,26 @@ impl<T> TicketLock<T> {
 /// RAII guard; passes the lock to the next ticket holder on drop.
 pub struct TicketLockGuard<'a, T> {
     lock: &'a TicketLock<T>,
+    // Where the guard was acquired; `Deref` cannot carry `#[track_caller]`,
+    // so accesses through the guard are attributed to the `lock()` call.
+    site: Site,
+}
+
+impl<T> TicketLockGuard<'_, T> {
+    fn emit_access(&self, kind: AccessKind) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(self.lock.value.get() as *const T),
+            what: "TicketLock",
+            kind,
+            site: self.site,
+        });
+    }
 }
 
 impl<T> Deref for TicketLockGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
+        self.emit_access(AccessKind::Read);
         // SAFETY: we hold the lock.
         unsafe { &*self.lock.value.get() }
     }
@@ -76,6 +97,7 @@ impl<T> Deref for TicketLockGuard<'_, T> {
 
 impl<T> DerefMut for TicketLockGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
+        self.emit_access(AccessKind::Write);
         // SAFETY: we hold the lock exclusively.
         unsafe { &mut *self.lock.value.get() }
     }
@@ -83,6 +105,11 @@ impl<T> DerefMut for TicketLockGuard<'_, T> {
 
 impl<T> Drop for TicketLockGuard<'_, T> {
     fn drop(&mut self) {
+        // The observer must see our Release before the next holder's
+        // Acquire, so emit before handing the lock over.
+        hooks::emit(&SyncEvent::Release {
+            lock: hooks::obj_id(self.lock as *const _),
+        });
         // Only the guard holder writes now_serving, so a plain
         // fetch_add-free store is enough.
         let cur = self.lock.now_serving.load(Ordering::Relaxed);

@@ -1,0 +1,97 @@
+//! [`Tracked<T>`] — an instrumented shared cell for race analysis.
+//!
+//! The courseware's broken patternlets model a *plain* shared variable
+//! (`balance = balance + 1` in the OpenMP original). Safe Rust cannot
+//! express the actual unsynchronized access, so `Tracked<T>` plays the
+//! role for analysis purposes: every [`Tracked::get`]/[`Tracked::set`]/
+//! [`Tracked::update`] is reported to the [`crate::hooks`] observer as a
+//! plain read/write of one shared cell, letting the vector-clock race
+//! detector in `pdc-analyze` decide whether the surrounding
+//! synchronization orders the accesses. Memory safety is preserved by an
+//! internal mutex, which is deliberately *invisible* to the analysis: it
+//! makes the cell safe to use, not correct to use — exactly the gap the
+//! race detector exists to expose.
+
+use parking_lot::Mutex;
+
+use crate::hooks::{self, AccessKind, Site, SyncEvent};
+
+/// A shared cell whose accesses are visible to the analysis hooks as
+/// plain (non-atomic) reads and writes.
+#[derive(Debug, Default)]
+pub struct Tracked<T> {
+    value: Mutex<T>,
+}
+
+impl<T> Tracked<T> {
+    /// A cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            value: Mutex::new(value),
+        }
+    }
+
+    fn emit(&self, kind: AccessKind, site: Site) {
+        hooks::emit(&SyncEvent::Access {
+            cell: hooks::obj_id(&self.value as *const _),
+            what: "Tracked",
+            kind,
+            site,
+        });
+    }
+
+    /// Read the cell (reported as a plain read).
+    #[track_caller]
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.emit(AccessKind::Read, Site::caller());
+        self.value.lock().clone()
+    }
+
+    /// Overwrite the cell (reported as a plain write).
+    #[track_caller]
+    pub fn set(&self, value: T) {
+        self.emit(AccessKind::Write, Site::caller());
+        *self.value.lock() = value;
+    }
+
+    /// Read-modify-write the cell (reported as a plain read **then** a
+    /// plain write — the two halves a lost-update race interleaves
+    /// between).
+    #[track_caller]
+    pub fn update(&self, f: impl FnOnce(&mut T)) {
+        let site = Site::caller();
+        self.emit(AccessKind::Read, site);
+        self.emit(AccessKind::Write, site);
+        f(&mut self.value.lock());
+    }
+
+    /// Run `f` with a shared view of the value (reported as a plain read).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.emit(AccessKind::Read, Site::caller());
+        f(&self.value.lock())
+    }
+
+    /// Consume the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_cell_behaves_like_a_cell() {
+        let c = Tracked::new(1u64);
+        assert_eq!(c.get(), 1);
+        c.set(5);
+        c.update(|v| *v += 2);
+        assert_eq!(c.with(|v| *v), 7);
+        assert_eq!(c.into_inner(), 7);
+    }
+}

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::hooks::{self, SyncEvent};
 use crate::sync::{Barrier, BarrierKind};
 
 /// A team configuration: how many threads a parallel region forks and
@@ -100,12 +101,21 @@ impl Team {
         };
         let mut results: Vec<Option<T>> = (0..self.num_threads).map(|_| None).collect();
         let mut panics: Vec<Option<String>> = (0..self.num_threads).map(|_| None).collect();
+        let token = hooks::next_token();
+        hooks::emit(&SyncEvent::Fork {
+            token,
+            children: self.num_threads,
+        });
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(self.num_threads);
             for (id, (slot, poison)) in results.iter_mut().zip(panics.iter_mut()).enumerate() {
                 let shared = &shared;
                 let body = &body;
                 handles.push(s.spawn(move || {
+                    hooks::emit(&SyncEvent::ChildStart {
+                        token,
+                        child_index: id,
+                    });
                     let mut worker = pdc_trace::span("shmem", "worker");
                     worker.arg("thread", id);
                     let ctx = ThreadCtx {
@@ -125,6 +135,10 @@ impl Team {
                     }
                     drop(worker);
                     pdc_trace::flush_thread();
+                    hooks::emit(&SyncEvent::ChildEnd {
+                        token,
+                        child_index: id,
+                    });
                 }));
             }
             for h in handles {
@@ -132,6 +146,7 @@ impl Team {
                     .expect("worker panics are caught inside the region");
             }
         });
+        hooks::emit(&SyncEvent::Join { token });
         pdc_trace::counter("shmem", "parallel_regions", 1);
         if let Some((thread, msg)) = panics
             .iter()
@@ -163,12 +178,21 @@ impl Team {
             criticals: CriticalRegistry::default(),
         };
         let mut results: Vec<Option<T>> = (0..self.num_threads).map(|_| None).collect();
+        let token = hooks::next_token();
+        hooks::emit(&SyncEvent::Fork {
+            token,
+            children: self.num_threads,
+        });
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(self.num_threads);
             for (id, slot) in results.iter_mut().enumerate() {
                 let shared = &shared;
                 let body = &body;
                 handles.push(s.spawn(move || {
+                    hooks::emit(&SyncEvent::ChildStart {
+                        token,
+                        child_index: id,
+                    });
                     let mut worker = pdc_trace::span("shmem", "worker");
                     worker.arg("thread", id);
                     let ctx = ThreadCtx {
@@ -183,6 +207,10 @@ impl Team {
                     // drop-time flush could race a post-join drain().
                     drop(worker);
                     pdc_trace::flush_thread();
+                    hooks::emit(&SyncEvent::ChildEnd {
+                        token,
+                        child_index: id,
+                    });
                 }));
             }
             for h in handles {
@@ -193,6 +221,7 @@ impl Team {
                 }
             }
         });
+        hooks::emit(&SyncEvent::Join { token });
         pdc_trace::counter("shmem", "parallel_regions", 1);
         results
             .into_iter()
@@ -304,7 +333,16 @@ impl ThreadCtx<'_> {
     pub fn barrier(&self) -> bool {
         let mut wait = pdc_trace::span("shmem", "barrier_wait");
         wait.arg("thread", self.id);
-        self.shared.barrier.wait()
+        let barrier_id = hooks::obj_id(&*self.shared.barrier as *const dyn Barrier);
+        hooks::emit(&SyncEvent::BarrierArrive {
+            barrier: barrier_id,
+            members: self.shared.barrier.members(),
+        });
+        let leader = self.shared.barrier.wait();
+        hooks::emit(&SyncEvent::BarrierLeave {
+            barrier: barrier_id,
+        });
+        leader
     }
 
     /// Run `f` under the named critical section
@@ -312,8 +350,15 @@ impl ThreadCtx<'_> {
     /// mutually exclusive; pass `""` for the unnamed critical.
     pub fn critical<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
         let lock = self.shared.criticals.get(name);
-        let _guard = lock.lock();
-        f()
+        let lock_id = hooks::obj_id(Arc::as_ptr(&lock));
+        let guard = lock.lock();
+        hooks::emit(&SyncEvent::Acquire { lock: lock_id });
+        let result = f();
+        // Emit before dropping the guard so the observer orders this
+        // Release ahead of the next holder's Acquire.
+        hooks::emit(&SyncEvent::Release { lock: lock_id });
+        drop(guard);
+        result
     }
 }
 

@@ -1,0 +1,178 @@
+//! Integration: the `pdc-analyze` detectors over the real runtimes.
+//!
+//! True positives: the deliberately broken programs (the `sm.race`
+//! patternlet, a mismatched collective, a receive-receive deadlock)
+//! must be flagged with actionable diagnostics. True negatives: the
+//! fixed ladder rungs and clean communication patterns must produce no
+//! findings. Plus the offline path (JSONL trace -> same analyzer) and
+//! byte-identical determinism of the full study artifact.
+
+use std::time::Duration;
+
+use pdc_analyze::{with_comm_analysis, with_race_analysis};
+use pdc_mpc::World;
+use pdc_patternlets::registry;
+
+/// Timeout for the deliberately broken communication scenarios.
+const BROKEN_TIMEOUT: Duration = Duration::from_millis(75);
+
+#[test]
+fn race_detector_flags_the_racy_patternlet_with_both_sites() {
+    let racy = registry::find("sm.race").expect("sm.race is in the catalog");
+    let (_, diags) = with_race_analysis(|| racy.run(4));
+    assert!(
+        !diags.is_empty(),
+        "the known-racy patternlet must be detected"
+    );
+    for d in &diags {
+        assert_eq!(d.code, "race.data-race");
+        assert!(d.is_error());
+        assert!(
+            d.sites.iter().all(|s| s.contains("races.rs:")),
+            "sites must point into the patternlet source: {:?}",
+            d.sites
+        );
+    }
+    // The unprotected counter update races read-vs-write *and*
+    // write-vs-write; the detector reports both distinct pairs.
+    assert_eq!(diags.len(), 2, "expected both racing access pairs");
+}
+
+#[test]
+fn race_detector_stays_quiet_on_the_fixed_ladder_rungs() {
+    for id in [
+        "sm.private",
+        "sm.critical",
+        "sm.atomic",
+        "sm.locks",
+        "sm.reduction",
+    ] {
+        let p = registry::find(id).expect("ladder rung is in the catalog");
+        let (_, diags) = with_race_analysis(|| p.run(4));
+        assert!(
+            diags.is_empty(),
+            "{id} is a correct fix but was flagged: {:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn comm_analyzer_accepts_clean_collectives() {
+    let (_, diags) = with_comm_analysis(|| {
+        World::new(2).run(|comm| {
+            let v = comm
+                .bcast(0, if comm.rank() == 0 { Some(17u64) } else { None })
+                .expect("bcast");
+            comm.barrier().expect("barrier");
+            let _ = comm.reduce(0, v, |a: u64, b| a + b).expect("reduce");
+        });
+    });
+    assert!(
+        diags.is_empty(),
+        "clean collectives flagged: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn comm_analyzer_names_both_sides_of_a_collective_mismatch() {
+    let (_, diags) = with_comm_analysis(|| {
+        World::new(2)
+            .with_collective_timeout(BROKEN_TIMEOUT)
+            .run(|comm| {
+                if comm.rank() == 0 {
+                    let _ = comm.bcast(0, Some(1u64));
+                } else {
+                    let _ = comm.barrier();
+                }
+            });
+    });
+    let mismatch = diags
+        .iter()
+        .find(|d| d.code == "comm.collective-mismatch")
+        .expect("mismatched collective must be detected");
+    assert!(mismatch.is_error());
+    assert!(
+        mismatch.message.contains("bcast") && mismatch.message.contains("barrier"),
+        "diagnostic must name the diverging collectives: {}",
+        mismatch.message
+    );
+}
+
+#[test]
+fn comm_analyzer_reports_the_deadlock_cycle_path() {
+    let (_, diags) = with_comm_analysis(|| {
+        World::new(2).run(|comm| {
+            // Both ranks receive first: the 0 -> 1 -> 0 wait-for cycle.
+            let other = 1 - comm.rank();
+            let _: Result<(u64, _), _> = comm.recv_timeout(other, 0, BROKEN_TIMEOUT);
+        });
+    });
+    let cycle = diags
+        .iter()
+        .find(|d| d.code == "comm.deadlock-cycle")
+        .expect("receive-receive deadlock must be detected");
+    assert!(cycle.is_error());
+    assert!(
+        cycle.message.contains("0 -> 1 -> 0"),
+        "diagnostic must spell out the cycle: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn offline_jsonl_analysis_agrees_with_the_online_analyzer() {
+    // Capture the trace inside the analysis session so no other
+    // detector harness can interleave its own mpc spans.
+    let (_, _records, online) = pdc_analyze::with_comm_records(|| {
+        pdc_trace::reset();
+        pdc_trace::enable();
+        World::new(2).run(|comm| {
+            comm.barrier().expect("barrier");
+            if comm.rank() == 0 {
+                // Sent but never received: visible to both paths.
+                comm.send(1, 9, &42u64).expect("send");
+            }
+        });
+        pdc_trace::disable();
+    });
+    let events = pdc_trace::drain();
+    let jsonl = pdc_trace::export::jsonl(&events);
+    let offline = pdc_analyze::comm::analyze_jsonl(&jsonl);
+
+    let codes = |diags: &[pdc_analyze::Diagnostic]| {
+        let mut v: Vec<String> = diags.iter().map(|d| d.code.clone()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    assert_eq!(codes(&online), vec!["comm.unmatched-send".to_owned()]);
+    assert_eq!(
+        codes(&offline),
+        codes(&online),
+        "offline trace analysis must reach the online verdict"
+    );
+}
+
+#[test]
+fn catalog_lint_is_clean() {
+    let diags = pdc_analyze::lint::lint_catalog();
+    assert!(
+        diags.is_empty(),
+        "catalog lint found problems: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn analysis_artifact_is_byte_identical_across_runs() {
+    let first = pdc_core::analysis::full_analysis(pdc_core::study::Scale::Quick);
+    let second = pdc_core::analysis::full_analysis(pdc_core::study::Scale::Quick);
+    assert!(first.passed(), "the canonical study must pass");
+    assert_eq!(
+        first.to_json(),
+        second.to_json(),
+        "BENCH_analyze.json must be deterministic"
+    );
+}

@@ -1,0 +1,105 @@
+//! Offline stand-in for `loom` 0.7.
+//!
+//! Upstream loom explores *every* interleaving of a concurrent closure
+//! by running it under a cooperative scheduler with model-checked
+//! atomics. This build environment has no network, so this stand-in
+//! keeps loom's API surface (`model`, `loom::thread`, `loom::sync`,
+//! `loom::hint`) but implements [`model`] as bounded randomized stress:
+//! the closure runs many times on real OS threads, with the iteration
+//! count inflated so the scheduler gets many chances to produce a bad
+//! interleaving. That is strictly weaker than exhaustive exploration —
+//! a model check passing here raises confidence, it does not prove the
+//! absence of a race — and the honest framing matters for a teaching
+//! workspace: the loom tests read like model checks and upgrade to real
+//! ones the moment the genuine crate is available, because the API is
+//! unchanged.
+//!
+//! Only the surface the workspace's model tests use is provided:
+//! `loom::model`, `loom::thread::{spawn, yield_now}`, `loom::sync::Arc`,
+//! `loom::sync::atomic::*`, and `loom::hint::spin_loop`.
+
+/// How many times [`model`] replays the closure. Upstream loom bounds
+/// the number of *distinct interleavings*; the stress stand-in bounds
+/// replays instead. Overridable via `LOOM_MAX_PREEMPTIONS`' moral
+/// equivalent, `LOOM_STRESS_ITERS`.
+const DEFAULT_ITERS: usize = 400;
+
+/// Run `f` repeatedly, giving the OS scheduler many chances to produce
+/// an unfortunate interleaving. Panics (assertion failures inside `f`)
+/// propagate, failing the enclosing test — same contract as upstream
+/// `loom::model`, minus the exhaustiveness.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        // Vary pre-run jitter so consecutive replays don't phase-lock
+        // into the same lucky schedule.
+        for _ in 0..(i % 7) {
+            std::thread::yield_now();
+        }
+        f();
+    }
+}
+
+/// Thread handling. Real threads here; loom's virtual threads upstream.
+pub mod thread {
+    pub use std::thread::{current, park, sleep, spawn, yield_now, JoinHandle, Thread};
+}
+
+/// Synchronization primitives (std's, not model-checked ones).
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI64, AtomicIsize, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Spin-loop hint passthrough.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_replays_the_closure() {
+        std::env::set_var("LOOM_STRESS_ITERS", "16");
+        let runs = Arc::new(AtomicUsize::new(0));
+        let r = runs.clone();
+        super::model(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        std::env::remove_var("LOOM_STRESS_ITERS");
+        assert_eq!(runs.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn threads_join_inside_model() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+}
