@@ -305,9 +305,20 @@ const COLLECTIVE_NAMES: &[&str] = &[
 /// it). Failed receives leave no arguments in the trace, so wait-for
 /// cycles are only available online; that asymmetry is why
 /// `reproduce --analyze` runs the online analyzer.
+///
+/// Lines stamped with a `pid` field (every export since pid stamping
+/// was added) let the analyzer tell those two shapes apart: when lines
+/// from two or more distinct OS processes appear, the stream is a
+/// *merged distributed run* — one world whose ranks each traced their
+/// own process — not sequential runs. Per-process `world_run` spans
+/// then all describe the same world, and cross-process timestamps are
+/// not comparable, so segmentation is disabled and the whole stream is
+/// analyzed as a single run.
 pub fn analyze_jsonl(jsonl: &str) -> Vec<Diagnostic> {
     // Start timestamps of `world_run` spans: the run boundaries.
     let mut run_starts: Vec<u64> = Vec::new();
+    // Distinct emitting processes seen in the stream.
+    let mut pids: BTreeSet<u64> = BTreeSet::new();
     // (ts_ns, src, dst, tag, +1 send / -1 recv)
     let mut p2p: Vec<(u64, usize, usize, Tag, i64)> = Vec::new();
     // (ts_ns, rank, name) so each rank's collectives sort into program
@@ -322,6 +333,9 @@ pub fn analyze_jsonl(jsonl: &str) -> Vec<Diagnostic> {
         let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
             continue;
         };
+        if let Some(pid) = v["pid"].as_u64() {
+            pids.insert(pid);
+        }
         if v["kind"] != "span" || v["cat"] != "mpc" {
             continue;
         }
@@ -358,7 +372,13 @@ pub fn analyze_jsonl(jsonl: &str) -> Vec<Diagnostic> {
 
     // Map a timestamp to its run segment: the latest world_run that
     // started at or before it. Everything before the first boundary
-    // (or a boundary-less trace) lands in segment 0.
+    // (or a boundary-less trace) lands in segment 0. A merged
+    // multi-process trace is one distributed run: its world_run spans
+    // (one per rank process) are all the same world, so they must not
+    // partition the stream.
+    if pids.len() >= 2 {
+        run_starts.clear();
+    }
     run_starts.sort_unstable();
     let multi_run = run_starts.len() > 1;
     let segment_of = |ts: u64| run_starts.partition_point(|&s| s <= ts).saturating_sub(1);
@@ -696,6 +716,43 @@ not json
         assert_eq!(codes(&diags), vec!["comm.unmatched-send"]);
         assert!(
             diags[0].message.contains("trace run 1"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn offline_jsonl_multi_pid_trace_is_one_distributed_run() {
+        // Merged trace from two rank *processes* (distinct pids), each
+        // of which opened its own world_run span for the same world.
+        // Without pid awareness the second world_run would start a new
+        // segment and split the matched send/recv pair and the bcasts
+        // across segments, producing phantom diagnostics. With it, the
+        // stream is one run and must be clean.
+        let jsonl = r#"
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":0,"tid":0,"pid":100,"dur_ns":90,"args":{"np":2}}
+{"kind":"span","cat":"mpc","name":"send","ts_ns":10,"tid":1,"pid":100,"dur_ns":5,"args":{"src":0,"dst":1,"tag":4,"bytes":8}}
+{"kind":"span","cat":"mpc","name":"bcast","ts_ns":20,"tid":1,"pid":100,"dur_ns":5,"args":{"rank":0,"size":2}}
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":5,"tid":0,"pid":200,"dur_ns":90,"args":{"np":2}}
+{"kind":"span","cat":"mpc","name":"recv","ts_ns":12,"tid":1,"pid":200,"dur_ns":5,"args":{"src":0,"dst":1,"tag":4,"bytes":8}}
+{"kind":"span","cat":"mpc","name":"bcast","ts_ns":21,"tid":1,"pid":200,"dur_ns":5,"args":{"rank":1,"size":2}}
+"#;
+        assert!(
+            analyze_jsonl(jsonl).is_empty(),
+            "merged multi-pid trace must analyze as a single run: {:?}",
+            analyze_jsonl(jsonl)
+        );
+
+        // A genuinely unmatched send in the merged stream still reports
+        // (and without a run index, since there is only one run).
+        let with_leak = format!(
+            "{jsonl}{}",
+            r#"{"kind":"span","cat":"mpc","name":"send","ts_ns":30,"tid":1,"pid":100,"dur_ns":5,"args":{"src":0,"dst":1,"tag":9,"bytes":8}}"#
+        );
+        let diags = analyze_jsonl(&with_leak);
+        assert_eq!(codes(&diags), vec!["comm.unmatched-send"]);
+        assert!(
+            !diags[0].message.contains("trace run"),
             "{}",
             diags[0].message
         );

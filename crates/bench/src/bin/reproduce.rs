@@ -7,6 +7,7 @@
 //! reproduce --trace trace.json # run traced; write a Chrome trace
 //! reproduce --chaos 2020       # run the chaos study under seed 2020
 //! reproduce --analyze          # run the detector study (pdc-analyze)
+//! reproduce --net 2020         # run the wire study under seed 2020
 //! ```
 //!
 //! With `--trace <path>` the runtimes' tracer is enabled for the run:
@@ -36,6 +37,14 @@
 //! undetected or known-clean code was flagged. Combine with `--trace`
 //! to reconcile the artifact against the tracer's `analyze/...`
 //! counters.
+//!
+//! With `--net <seed>` the wire study runs: this binary is re-launched
+//! as four real rank processes over a TCP mesh (`pdc-net`), the Module
+//! B patternlet suite runs over the wire, and the recoverable forest
+//! fire survives a *real* process kill (heartbeat detection → shrink →
+//! checkpoint restart). The deterministic report is written to
+//! `artifacts/BENCH_net.json`; the exit status is nonzero unless the
+//! kill happened, every fault recovered, and the values came out exact.
 
 use std::time::Instant;
 
@@ -46,6 +55,7 @@ struct Cli {
     trace: Option<String>,
     chaos: Option<u64>,
     analyze: bool,
+    net: Option<u64>,
     id: Option<String>,
 }
 
@@ -55,6 +65,7 @@ fn parse_args() -> Cli {
         trace: None,
         chaos: None,
         analyze: false,
+        net: None,
         id: None,
     };
     let mut args = std::env::args().skip(1);
@@ -76,6 +87,13 @@ fn parse_args() -> Cli {
                 }
             },
             "--analyze" => cli.analyze = true,
+            "--net" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(seed) => cli.net = Some(seed),
+                None => {
+                    eprintln!("--net requires a numeric seed argument");
+                    std::process::exit(2);
+                }
+            },
             other => cli.id = Some(other.to_owned()),
         }
     }
@@ -83,6 +101,31 @@ fn parse_args() -> Cli {
 }
 
 fn main() {
+    // Hidden dispatch: `net_study` re-launches this binary as rank
+    // processes with `--net-worker <seed> <scale>`. Handled before any
+    // normal parsing — a worker must never fall through to the
+    // experiment driver.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some(pdc_core::netstudy::WORKER_FLAG) {
+        let parsed = match (
+            argv.get(2).and_then(|s| s.parse::<u64>().ok()),
+            argv.get(3).and_then(|s| pdc_core::netstudy::parse_scale(s)),
+        ) {
+            (Some(seed), Some(scale)) => (seed, scale),
+            _ => {
+                eprintln!("usage: reproduce --net-worker <seed> <quick|full>");
+                std::process::exit(2);
+            }
+        };
+        match pdc_core::netstudy::net_worker(parsed.0, parsed.1) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("net worker failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let cli = parse_args();
     if cli.list {
         for e in experiments::all() {
@@ -114,6 +157,30 @@ fn main() {
         chaos_failed = !report.all_recovered();
     }
 
+    let mut net_failed = false;
+    if let Some(seed) = cli.net {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("cannot locate own executable for rank launch: {e}");
+            std::process::exit(1);
+        });
+        let start = Instant::now();
+        let report = pdc_core::netstudy::net_study(seed, pdc_core::study::Scale::Quick, &exe)
+            .unwrap_or_else(|e| {
+                eprintln!("wire study launch failed: {e}");
+                std::process::exit(1);
+            });
+        timings.push(("moduleB-net".to_owned(), start.elapsed().as_secs_f64()));
+        println!("{}", report.render());
+        std::fs::create_dir_all("artifacts")
+            .and_then(|()| std::fs::write("artifacts/BENCH_net.json", report.to_json()))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write artifacts/BENCH_net.json: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote artifacts/BENCH_net.json");
+        net_failed = !report.passed();
+    }
+
     let mut analyze_failed = false;
     let mut analysis_report: Option<pdc_core::analysis::AnalysisReport> = None;
     if cli.analyze {
@@ -132,7 +199,7 @@ fn main() {
         analysis_report = Some(report);
     }
 
-    if cli.chaos.is_none() && !cli.analyze {
+    if cli.chaos.is_none() && !cli.analyze && cli.net.is_none() {
         match cli.id.as_deref() {
             Some(id) => {
                 let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
@@ -195,6 +262,10 @@ fn main() {
     }
     if analyze_failed {
         eprintln!("analysis study: detector mismatch (see artifacts/BENCH_analyze.json)");
+        std::process::exit(1);
+    }
+    if net_failed {
+        eprintln!("wire study: failed (see artifacts/BENCH_net.json)");
         std::process::exit(1);
     }
 }

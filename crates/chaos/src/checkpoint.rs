@@ -1,10 +1,20 @@
-//! In-memory checkpoint store for restartable studies.
+//! Checkpoint stores for restartable studies.
 //!
 //! Checkpoints are keyed by string and hold serde_json-encoded values,
 //! so any serializable intermediate result (a completed trial, a scored
-//! ligand batch) can be parked across a crash/restart boundary. The
-//! store is `Arc`-shared: the driver owns it, every restart attempt
-//! sees what earlier attempts saved.
+//! ligand batch) can be parked across a crash/restart boundary.
+//!
+//! Two stores share the same API and ledger accounting:
+//!
+//! - [`CheckpointStore`] — in-memory, `Arc`-shared. The driver owns it;
+//!   every restart attempt of the same *process* sees what earlier
+//!   attempts saved. Sufficient for thread-mode worlds, useless when
+//!   the crashing thing is the process itself.
+//! - [`FileCheckpointStore`] — one file per key in a session directory,
+//!   written atomically (tmp + rename). Survives a killed process, so
+//!   wire-mode studies can restart ranks — or reassign a dead rank's
+//!   work to survivors — and pick up exactly the keys that were saved
+//!   before the kill.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,6 +80,91 @@ impl CheckpointStore {
     }
 }
 
+/// Durable checkpoint store: one file per key under a session
+/// directory. Same API and ledger accounting as [`CheckpointStore`],
+/// but saves survive the death of the saving *process* — the property
+/// that makes checkpoint/restart meaningful when ranks are OS processes
+/// that can really be killed.
+///
+/// Writes are atomic (tmp + rename), so a reader — even in another
+/// process — never observes a torn checkpoint: a key either has its
+/// complete previous value or its complete new one. Keys map to file
+/// names with `/` flattened to `_`; keys must be distinct under that
+/// mapping.
+#[derive(Clone)]
+pub struct FileCheckpointStore {
+    dir: std::path::PathBuf,
+    log: Arc<FaultLog>,
+}
+
+impl FileCheckpointStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<std::path::PathBuf>, log: Arc<FaultLog>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, log })
+    }
+
+    /// The directory checkpoints live in.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> std::path::PathBuf {
+        let name: String = key
+            .chars()
+            .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+            .collect();
+        self.dir.join(format!("{name}.ckpt"))
+    }
+
+    /// Save a checkpoint (overwrites an existing key) atomically.
+    pub fn save<T: Serialize>(&self, key: &str, value: &T) {
+        let json = serde_json::to_string(value).expect("checkpoint value serializes");
+        let path = self.path_for(key);
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, json).expect("checkpoint tmp write");
+        std::fs::rename(&tmp, &path).expect("checkpoint rename");
+        self.log.checkpoint_saved();
+    }
+
+    /// Load a checkpoint if present, counting a restore when it is.
+    pub fn load<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let json = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let value = serde_json::from_str(&json).ok()?;
+        self.log.checkpoint_restored();
+        Some(value)
+    }
+
+    /// Read a checkpoint *without* counting a restore (final assembly).
+    pub fn peek<T: DeserializeOwned>(&self, key: &str) -> Option<T> {
+        let json = std::fs::read_to_string(self.path_for(key)).ok()?;
+        serde_json::from_str(&json).ok()
+    }
+
+    /// True if a checkpoint exists for `key` (no restore is counted).
+    pub fn contains(&self, key: &str) -> bool {
+        self.path_for(key).exists()
+    }
+
+    /// Number of stored checkpoints.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when nothing has been checkpointed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +197,44 @@ mod tests {
         let other = store.clone();
         store.save("k", &7u32);
         assert_eq!(other.load::<u32>("k"), Some(7));
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdc-ckpt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn file_store_round_trips_and_counts() {
+        let dir = scratch("rt");
+        let log = Arc::new(FaultLog::default());
+        let store = FileCheckpointStore::open(&dir, Arc::clone(&log)).unwrap();
+        assert!(store.is_empty());
+        store.save("fire/0/3", &vec![0.25f64, 0.5]);
+        assert!(store.contains("fire/0/3"));
+        assert_eq!(store.len(), 1);
+        let back: Vec<f64> = store.load("fire/0/3").unwrap();
+        assert_eq!(back, vec![0.25, 0.5]);
+        assert_eq!(store.peek::<Vec<f64>>("fire/0/3"), Some(vec![0.25, 0.5]));
+        assert_eq!(store.load::<u32>("missing"), None);
+        let s = log.stats();
+        assert_eq!((s.checkpoints_saved, s.checkpoints_restored), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn file_store_survives_reopening() {
+        // The point of the file store: a fresh handle (a restarted or
+        // reassigned rank) sees everything saved before the "kill".
+        let dir = scratch("reopen");
+        {
+            let store = FileCheckpointStore::open(&dir, Arc::new(FaultLog::default())).unwrap();
+            store.save("k", &41u32);
+        }
+        let store = FileCheckpointStore::open(&dir, Arc::new(FaultLog::default())).unwrap();
+        assert_eq!(store.load::<u32>("k"), Some(41));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -29,7 +29,7 @@ pub mod checkpoint;
 pub mod injector;
 pub mod plan;
 
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{CheckpointStore, FileCheckpointStore};
 pub use injector::{FaultInjector, FaultLog, FaultStats, SendFault};
 pub use plan::{hash01, hash_u64, CrashPoint, FaultPlan, Partition, Straggler};
 
@@ -47,6 +47,19 @@ pub struct RetryPolicy {
     pub base: Duration,
     /// Ceiling on any single backoff.
     pub cap: Duration,
+    /// How long `Comm::send_reliable` waits for the receiver to match a
+    /// transmitted copy before retransmitting (floored at `cap`).
+    ///
+    /// Determinism rationale: the window must comfortably exceed one
+    /// receiver scheduling quantum, so a healthy-but-slow receiver
+    /// practically never triggers a spurious retransmit — keeping the
+    /// `retries` counter a pure function of the injected drops
+    /// (retries == drops) rather than of host load. A spurious
+    /// retransmit would still be harmless (duplicate delivery; the
+    /// injector is never consulted again), merely nondeterministic in
+    /// the ledger. Shrinking this below a few hundred milliseconds
+    /// trades ledger determinism for recovery latency.
+    pub ack_window: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -55,6 +68,7 @@ impl Default for RetryPolicy {
             max_attempts: 12,
             base: Duration::from_millis(1),
             cap: Duration::from_millis(50),
+            ack_window: Duration::from_millis(800),
         }
     }
 }
@@ -123,6 +137,7 @@ mod tests {
             max_attempts: 8,
             base: Duration::from_millis(2),
             cap: Duration::from_millis(20),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1, 1, 0), Duration::ZERO);
         let b1 = p.backoff(1, 1, 1);

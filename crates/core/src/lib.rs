@@ -20,6 +20,9 @@
 //!   cohort, and the DHA survey results (Table II, Figures 3–4).
 //! * [`experiments`] — the per-experiment index: every table and figure
 //!   of the paper as a named, runnable reproduction.
+//! * [`netstudy`] — the wire study: Module B's patternlets and a
+//!   recoverable exemplar over real TCP rank processes, surviving a
+//!   real process kill (`reproduce --net <seed>`).
 //!
 //! ```no_run
 //! // Regenerate the paper's Figure 2 (Colab SPMD cell + its output):
@@ -33,6 +36,7 @@ pub mod experiments;
 pub mod injection;
 pub mod module_a;
 pub mod module_b;
+pub mod netstudy;
 pub mod simulate;
 pub mod study;
 pub mod workshop;

@@ -78,8 +78,10 @@ pub struct FirePoint {
     pub avg_iterations: f64,
 }
 
-/// Deterministic per-trial seed.
-fn trial_seed(base: u64, prob_idx: usize, trial: usize) -> u64 {
+/// Deterministic per-trial seed. Public so distributed drivers (e.g.
+/// the wire-mode study in `pdc-core`) can recompute exactly the streams
+/// [`run_seq`] uses.
+pub fn trial_seed(base: u64, prob_idx: usize, trial: usize) -> u64 {
     base ^ (prob_idx as u64)
         .wrapping_mul(0x9E3779B97F4A7C15)
         .wrapping_add((trial as u64).wrapping_mul(0xD1B54A32D192ED03))
@@ -130,8 +132,9 @@ pub fn simulate_fire(size: usize, prob: f64, seed: u64) -> TrialResult {
 }
 
 /// Average trial results (summed in trial order, so every implementation
-/// gets bit-identical output).
-fn average(prob: f64, trials: &[TrialResult]) -> FirePoint {
+/// gets bit-identical output). Public for the same reason as
+/// [`trial_seed`]: external drivers must assemble identically.
+pub fn average(prob: f64, trials: &[TrialResult]) -> FirePoint {
     let n = trials.len() as f64;
     FirePoint {
         prob,

@@ -1,7 +1,7 @@
 //! Per-rank communication recording for the `pdc-analyze` detectors.
 //!
-//! When a [`CommLog`](crate::analysis::CommLog) is attached to a
-//! [`World`](crate::World) — via [`World::with_analysis`] or the ambient
+//! When a [`CommLog`] is attached to a [`World`](crate::World) — via
+//! [`World::with_analysis`](crate::World::with_analysis) or the ambient
 //! [`arm`]/[`disarm`] pair — every rank's operations are recorded at the
 //! runtime's existing chokepoints: the single send path
 //! (`send_bytes_inner`), the single receive path (`recv_bytes_internal`),
@@ -101,7 +101,8 @@ impl RunRecord {
 }
 
 /// A shared, cloneable sink for communication records. Attach one to a
-/// [`World`](crate::World) with [`World::with_analysis`], run, then
+/// [`World`](crate::World) with
+/// [`World::with_analysis`](crate::World::with_analysis), run, then
 /// [`CommLog::take`] the per-run records for analysis.
 #[derive(Debug, Clone, Default)]
 pub struct CommLog {
@@ -215,7 +216,8 @@ static AMBIENT_ON: AtomicBool = AtomicBool::new(false);
 static AMBIENT: RwLock<Option<CommLog>> = RwLock::new(None);
 
 /// Attach `log` to every `World::run` in this process that does not carry
-/// its own [`World::with_analysis`] log, until [`disarm`] is called.
+/// its own [`World::with_analysis`](crate::World::with_analysis) log,
+/// until [`disarm`] is called.
 /// Harnesses are expected to serialize themselves (the ones in
 /// `pdc-analyze` hold a session lock).
 pub fn arm(log: CommLog) {

@@ -11,7 +11,8 @@ use serde::Serialize;
 use crate::envelope::{Envelope, Source, Tag, TagSel};
 use crate::error::{MpcError, Result};
 use crate::mailbox::Latch;
-use crate::world::Fabric;
+use crate::transport::{FrameOutcome, WireFrame};
+use crate::world::{Fabric, Route};
 
 /// What became of one transmission at the send chokepoint — internal,
 /// so `send_reliable` can count injected drops it must later recover.
@@ -152,6 +153,72 @@ impl Comm {
             payload,
             sync_ack,
         };
+        // Straggler delay applies to first transmissions only (both
+        // routes): exempting retransmissions keeps the straggler_delays
+        // counter a pure function of how many logical messages the slow
+        // rank sends.
+        if !exempt {
+            if let Some(inj) = &self.fabric.injector {
+                if let Some(extra) = inj.straggle(src_w) {
+                    std::thread::sleep(extra);
+                }
+            }
+        }
+        let mailboxes = match &self.fabric.route {
+            Route::Threads(mailboxes) => mailboxes,
+            Route::Wire { local, transport } => {
+                if dst_w == transport.rank() {
+                    // Self-send: a loopback deposit, never a wire frame.
+                    if let Some(traffic) = &self.fabric.traffic {
+                        traffic.record(src_w, dst_w, env.payload.len());
+                    }
+                    local.deposit(env);
+                    self.record_send(src_w, dst_w, tag, payload_len, true);
+                    return Ok(SendOutcome::Delivered);
+                }
+                // Remote: register the ack latch (if any) and frame the
+                // message. Frame-level faults are a fault-injecting
+                // transport wrapper's business, not the chokepoint's —
+                // in wire mode the injector here only serves the
+                // crash/straggler schedules.
+                let ack_id = match &env.sync_ack {
+                    Some(latch) => self.fabric.acks.register(Arc::clone(latch)),
+                    None => 0,
+                };
+                let frame = WireFrame {
+                    comm_id: self.comm_id,
+                    src_group: self.rank,
+                    tag,
+                    payload: env.payload,
+                    ack_id,
+                    overtake: false,
+                    exempt,
+                };
+                return match transport.send_frame(dst_w, frame) {
+                    Ok(FrameOutcome::Sent) => {
+                        if let Some(traffic) = &self.fabric.traffic {
+                            traffic.record(src_w, dst_w, payload_len);
+                        }
+                        self.record_send(src_w, dst_w, tag, payload_len, true);
+                        Ok(SendOutcome::Delivered)
+                    }
+                    Ok(FrameOutcome::InjectedDrop) => {
+                        span.arg("fault", "drop");
+                        if ack_id != 0 {
+                            self.fabric.acks.take(ack_id);
+                        }
+                        self.record_send(src_w, dst_w, tag, payload_len, false);
+                        Ok(SendOutcome::InjectedDrop)
+                    }
+                    Err(e) => {
+                        if ack_id != 0 {
+                            self.fabric.acks.take(ack_id);
+                        }
+                        Err(e)
+                    }
+                };
+            }
+        };
         // Traffic is recorded per *delivered* copy (drops don't count,
         // duplicates count twice), so the matrix reflects what actually
         // crossed the wire.
@@ -159,21 +226,13 @@ impl Comm {
             if let Some(traffic) = &self.fabric.traffic {
                 traffic.record(src_w, dst_w, env.payload.len());
             }
-            self.fabric.mailboxes[dst_w].deposit(env);
+            mailboxes[dst_w].deposit(env);
         };
         let Some(inj) = &self.fabric.injector else {
             deliver(env);
             self.record_send(src_w, dst_w, tag, payload_len, true);
             return Ok(SendOutcome::Delivered);
         };
-        // Straggler delay applies to first transmissions only: exempting
-        // retransmissions keeps the straggler_delays counter a pure
-        // function of how many logical messages the slow rank sends.
-        if !exempt {
-            if let Some(extra) = inj.straggle(src_w) {
-                std::thread::sleep(extra);
-            }
-        }
         let verdict = if exempt {
             pdc_chaos::SendFault::Deliver
         } else {
@@ -208,7 +267,7 @@ impl Comm {
                 if let Some(traffic) = &self.fabric.traffic {
                     traffic.record(src_w, dst_w, env.payload.len());
                 }
-                self.fabric.mailboxes[dst_w].deposit_front(env);
+                mailboxes[dst_w].deposit_front(env);
             }
         }
         self.record_send(src_w, dst_w, tag, payload_len, true);
@@ -242,7 +301,7 @@ impl Comm {
         // The span covers the blocking wait, so its duration is the time
         // this rank spent idle for the message.
         let mut span = pdc_trace::span("mpc", "recv");
-        let env = match self.fabric.mailboxes[me].take_matching_checked(
+        let env = match self.fabric.local_mailbox(me).take_matching_checked(
             self.comm_id,
             src,
             tag,
@@ -431,7 +490,7 @@ impl Comm {
     pub fn probe(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Result<Status> {
         let me = self.world_rank(self.rank);
         let src = src.into();
-        let (source, tag, len) = self.fabric.mailboxes[me].peek_matching_checked(
+        let (source, tag, len) = self.fabric.local_mailbox(me).peek_matching_checked(
             self.comm_id,
             src,
             tag.into(),
@@ -444,7 +503,8 @@ impl Comm {
     /// Non-blocking probe — `MPI_Iprobe`.
     pub fn iprobe(&self, src: impl Into<Source>, tag: impl Into<TagSel>) -> Option<Status> {
         let me = self.world_rank(self.rank);
-        self.fabric.mailboxes[me]
+        self.fabric
+            .local_mailbox(me)
             .try_peek_matching(self.comm_id, src.into(), tag.into())
             .map(|(source, tag, len)| Status { source, tag, len })
     }
@@ -490,7 +550,10 @@ impl<T: DeserializeOwned> RecvRequest<T> {
     #[allow(clippy::result_large_err)]
     pub fn test(self) -> std::result::Result<(T, Status), Self> {
         let me = self.comm.world_rank(self.comm.rank);
-        if self.comm.fabric.mailboxes[me]
+        if self
+            .comm
+            .fabric
+            .local_mailbox(me)
             .try_peek_matching(self.comm.comm_id, self.src, self.tag)
             .is_some()
         {

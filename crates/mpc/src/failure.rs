@@ -18,7 +18,6 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -117,8 +116,20 @@ impl Comm {
         let me = self.world_rank(self.rank);
         if self.fabric.dead.mark(me) {
             pdc_trace::instant("chaos", "rank_crashed", vec![("rank", me.into())]);
-            for mb in &self.fabric.mailboxes {
-                mb.interrupt();
+            match &self.fabric.route {
+                crate::world::Route::Threads(mailboxes) => {
+                    for mb in mailboxes {
+                        mb.interrupt();
+                    }
+                }
+                crate::world::Route::Wire { local, transport } => {
+                    // Peers' DeadSets live in other processes: announce
+                    // the (cooperative) crash so their detectors need
+                    // not wait out a heartbeat timeout. A rank killed
+                    // for real never reaches this path.
+                    transport.announce_crash();
+                    local.interrupt();
+                }
             }
         }
     }
@@ -167,13 +178,10 @@ impl Comm {
         let stream = ((self.world_rank(self.rank) as u64) << 40)
             ^ ((self.world_rank(dest) as u64) << 20)
             ^ (tag as u64);
-        // The ack window must comfortably exceed one receiver scheduling
-        // quantum — generous enough that a healthy-but-slow receiver
-        // practically never triggers a spurious retransmit, keeping the
-        // `retries` counter deterministic (retries == injected drops). A
-        // spurious retransmit would still be harmless (dup-delivery) and
-        // never touches the injector.
-        let ack_window = policy.cap.max(Duration::from_millis(800));
+        // The window comes from the policy (see `RetryPolicy::ack_window`
+        // for the determinism rationale), floored at the backoff cap so a
+        // policy tuned for long backoffs never retransmits early.
+        let ack_window = policy.ack_window.max(policy.cap);
         let mut pending_drops = 0u64;
         for attempt in 0..policy.max_attempts {
             if !self.is_alive(dest) {

@@ -62,6 +62,7 @@ pub mod failure;
 pub mod mailbox;
 pub mod reduce_op;
 pub mod traffic;
+pub mod transport;
 pub mod world;
 
 pub use analysis::CommLog;
@@ -73,6 +74,7 @@ pub use error::MpcError;
 pub use failure::DeadSet;
 pub use reduce_op::ops;
 pub use traffic::TrafficMatrix;
+pub use transport::{FrameOutcome, Transport, WireFrame, WireHandle};
 pub use world::{World, DEFAULT_COLLECTIVE_TIMEOUT};
 
 /// Crate prelude for patternlets and exemplars.

@@ -18,10 +18,31 @@ use crate::error::{MpcError, Result};
 /// A one-shot completion latch used by synchronous sends: the sender
 /// blocks on [`Latch::wait`] until the receiver calls [`Latch::open`]
 /// at match time — the rendezvous that makes `ssend` deadlock-capable.
-#[derive(Debug, Default)]
+///
+/// A latch may also carry an *open hook*, run exactly once when the
+/// latch opens. The wire transport uses it to queue an Ack frame back
+/// to a remote sender at match time — the cross-process analog of the
+/// in-process waiter wakeup.
+#[derive(Default)]
 pub struct Latch {
-    state: Mutex<bool>,
+    state: Mutex<LatchState>,
     cv: Condvar,
+}
+
+#[derive(Default)]
+struct LatchState {
+    open: bool,
+    hook: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl std::fmt::Debug for Latch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Latch")
+            .field("open", &st.open)
+            .field("hook", &st.hook.is_some())
+            .finish()
+    }
 }
 
 impl Latch {
@@ -30,35 +51,62 @@ impl Latch {
         Self::default()
     }
 
-    /// Open the latch, waking all waiters.
+    /// Attach a hook to run once when the latch opens. Attach before
+    /// publishing the latch: if it is already open the hook is dropped
+    /// unrun.
+    pub fn set_hook(&self, hook: Box<dyn FnOnce() + Send>) {
+        let mut st = self.state.lock();
+        if !st.open {
+            st.hook = Some(hook);
+        }
+    }
+
+    /// Open the latch, waking all waiters. Idempotent; the open hook
+    /// (if any) runs exactly once, after waiters are notified, outside
+    /// the latch lock.
     pub fn open(&self) {
-        let mut open = self.state.lock();
-        *open = true;
-        self.cv.notify_all();
+        let hook = {
+            let mut st = self.state.lock();
+            st.open = true;
+            self.cv.notify_all();
+            st.hook.take()
+        };
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     /// Block until the latch opens, or until `timeout` (None = forever).
-    /// Returns `false` on timeout.
+    /// Returns `false` on timeout. A timeout too large to represent as
+    /// an `Instant` deadline is treated as forever rather than panicking
+    /// on the overflowing deadline arithmetic.
     pub fn wait(&self, timeout: Option<Duration>) -> bool {
-        let mut open = self.state.lock();
-        match timeout {
+        let deadline = deadline_after(timeout);
+        let mut st = self.state.lock();
+        match deadline {
             None => {
-                while !*open {
-                    self.cv.wait(&mut open);
+                while !st.open {
+                    self.cv.wait(&mut st);
                 }
                 true
             }
-            Some(dur) => {
-                let deadline = Instant::now() + dur;
-                while !*open {
-                    if self.cv.wait_until(&mut open, deadline).timed_out() {
-                        return *open;
+            Some(dl) => {
+                while !st.open {
+                    if self.cv.wait_until(&mut st, dl).timed_out() {
+                        return st.open;
                     }
                 }
                 true
             }
         }
     }
+}
+
+/// Deadline for an optional timeout. `None` — wait forever — when no
+/// timeout was given *or* when `now + timeout` overflows `Instant`:
+/// a deadline too far away to represent might as well be never.
+fn deadline_after(timeout: Option<Duration>) -> Option<Instant> {
+    timeout.and_then(|d| Instant::now().checked_add(d))
 }
 
 /// The pending-message queue of one rank.
@@ -163,7 +211,7 @@ impl Mailbox {
             }
             Some(env)
         };
-        let deadline = timeout.map(|d| Instant::now() + d);
+        let deadline = deadline_after(timeout);
         let mut q = self.queue.lock();
         loop {
             if let Some(env) = take(&mut q) {
@@ -217,7 +265,7 @@ impl Mailbox {
         timeout: Option<Duration>,
         fail: &dyn Fn() -> Option<MpcError>,
     ) -> Result<(usize, i32, usize)> {
-        let deadline = timeout.map(|d| Instant::now() + d);
+        let deadline = deadline_after(timeout);
         let mut q = self.queue.lock();
         loop {
             if let Some(e) = q.iter().find(|e| e.matches(comm_id, &src, &tag)) {
@@ -391,6 +439,53 @@ mod tests {
     fn latch_timeout_returns_false() {
         let latch = Latch::new();
         assert!(!latch.wait(Some(Duration::from_millis(20))));
+    }
+
+    #[test]
+    fn huge_timeouts_do_not_panic() {
+        // `Instant::now() + Duration::MAX` would panic; the checked
+        // deadline falls back to an untimed wait instead.
+        let latch = Arc::new(Latch::new());
+        let l2 = Arc::clone(&latch);
+        let h = std::thread::spawn(move || l2.wait(Some(Duration::MAX)));
+        std::thread::sleep(Duration::from_millis(10));
+        latch.open();
+        assert!(h.join().unwrap());
+
+        let mb = Mailbox::new();
+        mb.deposit(env(0, 1, 0, b"x"));
+        let got = mb
+            .take_matching(0, Source::Any, TagSel::Any, Some(Duration::MAX))
+            .unwrap();
+        assert_eq!(&got.payload[..], b"x");
+        mb.deposit(env(0, 1, 0, b"y"));
+        let (src, _, _) = mb
+            .peek_matching(0, Source::Any, TagSel::Any, Some(Duration::MAX))
+            .unwrap();
+        assert_eq!(src, 1);
+    }
+
+    #[test]
+    fn latch_hook_runs_once_at_open() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let latch = Latch::new();
+        let c2 = Arc::clone(&calls);
+        latch.set_hook(Box::new(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        latch.open();
+        latch.open(); // idempotent: hook must not rerun
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+
+        // A hook attached after the open is dropped unrun.
+        let late = Arc::clone(&calls);
+        latch.set_hook(Box::new(move || {
+            late.fetch_add(10, Ordering::SeqCst);
+        }));
+        latch.open();
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::collectives::CollectiveAlgo;
 use crate::comm::Comm;
 use crate::failure::DeadSet;
 use crate::mailbox::{Mailbox, SharedMailbox};
+use crate::transport::{AckTable, Transport, WireHandle};
 
 /// Default internal timeout for collectives: generous enough that a
 /// healthy classroom run never trips it, but a mismatched collective
@@ -22,10 +23,24 @@ use crate::mailbox::{Mailbox, SharedMailbox};
 /// hanging the process forever.
 pub const DEFAULT_COLLECTIVE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Shared communication state: one mailbox per world rank plus the
+/// How a fabric's messages travel between ranks.
+pub(crate) enum Route {
+    /// All ranks are threads in this process: one mailbox per world
+    /// rank, a send is a deposit into the destination's mailbox.
+    Threads(Vec<SharedMailbox>),
+    /// This process hosts exactly one world rank; every other rank is
+    /// reached through a wire [`Transport`]. Inbound traffic lands in
+    /// the single local mailbox via [`WireHandle::deliver`].
+    Wire {
+        local: SharedMailbox,
+        transport: Arc<dyn Transport>,
+    },
+}
+
+/// Shared communication state: the message route plus the
 /// communicator-id allocator. Internal; reachable only through [`Comm`].
 pub(crate) struct Fabric {
-    pub(crate) mailboxes: Vec<SharedMailbox>,
+    pub(crate) route: Route,
     pub(crate) hostnames: Vec<String>,
     pub(crate) algo: CollectiveAlgo,
     pub(crate) traffic: Option<crate::traffic::TrafficCounters>,
@@ -34,6 +49,7 @@ pub(crate) struct Fabric {
     pub(crate) collective_timeout: Duration,
     pub(crate) retry: RetryPolicy,
     pub(crate) analysis: Option<RunRecorder>,
+    pub(crate) acks: AckTable,
     next_comm_id: AtomicU64,
 }
 
@@ -41,6 +57,30 @@ impl Fabric {
     /// Reserve `n` consecutive communicator ids; returns the first.
     pub(crate) fn alloc_comm_ids(&self, n: u64) -> u64 {
         self.next_comm_id.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// The mailbox this process receives on for `world_rank`. A wire
+    /// fabric hosts exactly one rank, so there is exactly one answer.
+    pub(crate) fn local_mailbox(&self, world_rank: usize) -> &SharedMailbox {
+        match &self.route {
+            Route::Threads(mailboxes) => &mailboxes[world_rank],
+            Route::Wire { local, transport } => {
+                debug_assert_eq!(
+                    world_rank,
+                    transport.rank(),
+                    "a wire fabric hosts exactly one rank"
+                );
+                local
+            }
+        }
+    }
+
+    /// The wire transport, when this fabric is socket-backed.
+    pub(crate) fn transport(&self) -> Option<&Arc<dyn Transport>> {
+        match &self.route {
+            Route::Wire { transport, .. } => Some(transport),
+            Route::Threads(_) => None,
+        }
     }
 }
 
@@ -173,6 +213,63 @@ impl World {
         (results, traffic.expect("tracing was enabled"))
     }
 
+    /// Attach this OS process to a wire [`Transport`] as one rank of a
+    /// distributed world — the socket-backed counterpart of
+    /// [`World::run`]. Where `run` spawns `np` threads and returns when
+    /// they all finish, `attach` returns the world communicator for the
+    /// *one* rank this process hosts; the other `np - 1` ranks are
+    /// other OS processes reached over the wire.
+    ///
+    /// Builder configuration carries over: collective algorithm and
+    /// timeout, retry policy, and the fault injector (which in wire
+    /// mode serves only the crash/straggler schedules — frame-level
+    /// faults belong to a fault-injecting transport wrapper). Hostnames
+    /// come from the transport. Online analysis is thread-mode only
+    /// (a per-process recorder would see a torn view of the world);
+    /// wire runs use the offline JSONL pass instead.
+    ///
+    /// The caller keeps ownership of the transport and is responsible
+    /// for [`Transport::shutdown`] when the rank is done.
+    pub fn attach(&self, transport: Arc<dyn Transport>) -> Comm {
+        assert_eq!(
+            self.np,
+            transport.size(),
+            "transport world size must match World::new(np)"
+        );
+        let rank = transport.rank();
+        assert!(rank < self.np, "transport rank out of range");
+        let hostnames = transport.hostnames();
+        assert_eq!(hostnames.len(), self.np, "one hostname per rank");
+        let fabric = Arc::new(Fabric {
+            route: Route::Wire {
+                local: Arc::new(Mailbox::new()),
+                transport: Arc::clone(&transport),
+            },
+            hostnames,
+            algo: self.algo,
+            traffic: None,
+            injector: self.injector.clone(),
+            dead: DeadSet::new(),
+            collective_timeout: self.collective_timeout,
+            retry: self.retry,
+            analysis: None,
+            acks: AckTable::default(),
+            next_comm_id: AtomicU64::new(1),
+        });
+        transport.start(WireHandle::new(Arc::clone(&fabric)));
+        pdc_trace::instant(
+            "mpc",
+            "world_attach",
+            vec![("rank", rank.into()), ("np", self.np.into())],
+        );
+        Comm {
+            fabric,
+            comm_id: 0,
+            group: Arc::new((0..self.np).collect()),
+            rank,
+        }
+    }
+
     fn run_inner<F, T>(
         &self,
         body: F,
@@ -186,7 +283,7 @@ impl World {
         // process-wide log without hijacking explicitly-attached worlds.
         let analysis_log = self.analysis.clone().or_else(crate::analysis::ambient);
         let fabric = Arc::new(Fabric {
-            mailboxes: (0..self.np).map(|_| Arc::new(Mailbox::new())).collect(),
+            route: Route::Threads((0..self.np).map(|_| Arc::new(Mailbox::new())).collect()),
             hostnames: self.hostnames.clone(),
             algo: self.algo,
             traffic: trace.then(|| crate::traffic::TrafficCounters::new(self.np)),
@@ -195,6 +292,7 @@ impl World {
             collective_timeout: self.collective_timeout,
             retry: self.retry,
             analysis: analysis_log.map(|log| log.start_run(self.np)),
+            acks: AckTable::default(),
             next_comm_id: AtomicU64::new(1),
         });
         let group: Arc<Vec<usize>> = Arc::new((0..self.np).collect());

@@ -1,0 +1,105 @@
+//! `pdc-run` — the workspace's `mpirun`.
+//!
+//! ```text
+//! pdc-run -np 4 [--session ID] [--dir DIR] -- program [args...]
+//! ```
+//!
+//! Spawns `np` copies of `program` as OS processes on this host, each
+//! with the `PDC_NET_*` environment that `pdc_net::NetConfig::from_env`
+//! reads, and waits for all of them. Exits 0 only if every rank exited
+//! 0; ranks killed by a signal are reported as `died (signal)`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pdc_net::{launch, LaunchSpec};
+
+const USAGE: &str = "usage: pdc-run -np N [--session ID] [--dir DIR] -- program [args...]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("pdc-run: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut np: Option<usize> = None;
+    let mut session: Option<u64> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut command: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-np" | "--np" | "-n" => {
+                let Some(value) = args.next() else {
+                    return fail("-np needs a value");
+                };
+                match value.parse() {
+                    Ok(n) if n >= 1 => np = Some(n),
+                    _ => return fail("-np must be a positive integer"),
+                }
+            }
+            "--session" => {
+                let Some(value) = args.next() else {
+                    return fail("--session needs a value");
+                };
+                match value.parse() {
+                    Ok(s) => session = Some(s),
+                    Err(_) => return fail("--session must be an integer"),
+                }
+            }
+            "--dir" => {
+                let Some(value) = args.next() else {
+                    return fail("--dir needs a value");
+                };
+                dir = Some(PathBuf::from(value));
+            }
+            "--" => {
+                command.extend(args.by_ref());
+                break;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(np) = np else {
+        return fail("missing -np");
+    };
+    if command.is_empty() {
+        return fail("missing program (everything after --)");
+    }
+    let pid = std::process::id();
+    let spec = LaunchSpec {
+        np,
+        session: session.unwrap_or(pid as u64),
+        dir: dir.unwrap_or_else(|| std::env::temp_dir().join(format!("pdc-run-{pid}"))),
+        program: PathBuf::from(&command[0]),
+        args: command[1..].to_vec(),
+        envs: vec![],
+    };
+    let exits = match launch(&spec) {
+        Ok(exits) => exits,
+        Err(e) => {
+            eprintln!("pdc-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut worst = 0i32;
+    for exit in &exits {
+        match exit.code {
+            Some(0) => {}
+            Some(code) => {
+                eprintln!("pdc-run: rank {} exited with code {code}", exit.rank);
+                worst = worst.max(code.clamp(1, 125));
+            }
+            None => {
+                eprintln!("pdc-run: rank {} died (signal)", exit.rank);
+                worst = worst.max(1);
+            }
+        }
+    }
+    ExitCode::from(worst as u8)
+}

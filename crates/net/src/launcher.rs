@@ -1,0 +1,163 @@
+//! The `mpirun` analog: spawn `np` OS processes on localhost, wire
+//! them together through the rendezvous file, and collect their exits.
+//!
+//! Each worker is launched with the `PDC_NET_*` environment
+//! ([`NetConfig::from_env`](crate::NetConfig::from_env) reads it) and
+//! inherits stdout/stderr, so `pdc-run -np 4 -- prog` feels like
+//! `mpirun -np 4 prog`. A worker that dies — any exit, including a
+//! kill by signal — is reported, not hidden: surviving ranks are
+//! expected to notice over the wire and carry on degraded, and the
+//! caller decides what the overall exit means.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+
+/// One `pdc-run` invocation: what to run, how wide, and where the
+/// session's scratch (rendezvous file) lives.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Number of ranks (OS processes).
+    pub np: usize,
+    /// Session id handed to every rank (handshake validation).
+    pub session: u64,
+    /// Scratch directory; the rendezvous file is created inside.
+    pub dir: PathBuf,
+    /// Program to execute for every rank.
+    pub program: PathBuf,
+    /// Arguments passed to every rank verbatim.
+    pub args: Vec<String>,
+    /// Extra environment for every rank (on top of `PDC_NET_*`).
+    pub envs: Vec<(String, String)>,
+}
+
+/// How one rank's process ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankExit {
+    /// The world rank.
+    pub rank: usize,
+    /// Exit code; `None` means the process was killed by a signal —
+    /// the "real" process fault the wire runtime must survive.
+    pub code: Option<i32>,
+}
+
+impl RankExit {
+    /// Clean exit?
+    pub fn ok(&self) -> bool {
+        self.code == Some(0)
+    }
+
+    /// Killed by a signal (no exit code at all)?
+    pub fn signaled(&self) -> bool {
+        self.code.is_none()
+    }
+}
+
+/// Spawn `spec.np` rank processes and wait for all of them, in rank
+/// order. Returns one [`RankExit`] per rank.
+///
+/// Spawn failures abort the launch: already-spawned ranks are killed
+/// (their mesh can never form) and the error is returned.
+pub fn launch(spec: &LaunchSpec) -> io::Result<Vec<RankExit>> {
+    assert!(spec.np >= 1, "np must be at least 1");
+    std::fs::create_dir_all(&spec.dir)?;
+    let rendezvous = spec.dir.join("rendezvous.addr");
+    // A stale address file from a previous session on this scratch dir
+    // would send rank 0's joiners to a dead (or worse, live) listener.
+    let _ = std::fs::remove_file(&rendezvous);
+    let mut children: Vec<(usize, Child)> = Vec::with_capacity(spec.np);
+    for rank in 0..spec.np {
+        let mut cmd = Command::new(&spec.program);
+        cmd.args(&spec.args)
+            .env("PDC_NET_RANK", rank.to_string())
+            .env("PDC_NET_SIZE", spec.np.to_string())
+            .env("PDC_NET_SESSION", spec.session.to_string())
+            .env("PDC_NET_RENDEZVOUS", &rendezvous);
+        for (key, value) in &spec.envs {
+            cmd.env(key, value);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push((rank, child)),
+            Err(e) => {
+                for (_, mut child) in children {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                return Err(io::Error::new(
+                    e.kind(),
+                    format!("spawning rank {rank} ({}): {e}", spec.program.display()),
+                ));
+            }
+        }
+    }
+    let mut exits = Vec::with_capacity(spec.np);
+    for (rank, mut child) in children {
+        let status = child.wait()?;
+        exits.push(RankExit {
+            rank,
+            code: status.code(),
+        });
+    }
+    Ok(exits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pdc-launch-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn launches_np_processes_with_rank_env() {
+        // `sh -c 'exit $PDC_NET_RANK'`: each rank exits with its own
+        // rank number, proving the env reached each process.
+        let spec = LaunchSpec {
+            np: 3,
+            session: 42,
+            dir: scratch("env"),
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".into(), "exit $PDC_NET_RANK".into()],
+            envs: vec![],
+        };
+        let exits = launch(&spec).unwrap();
+        let codes: Vec<Option<i32>> = exits.iter().map(|e| e.code).collect();
+        assert_eq!(codes, vec![Some(0), Some(1), Some(2)]);
+        assert!(exits[0].ok() && !exits[1].ok());
+        let _ = std::fs::remove_dir_all(&spec.dir);
+    }
+
+    #[test]
+    fn signal_killed_ranks_report_no_code() {
+        let spec = LaunchSpec {
+            np: 1,
+            session: 7,
+            dir: scratch("signal"),
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".into(), "kill -9 $$".into()],
+            envs: vec![],
+        };
+        let exits = launch(&spec).unwrap();
+        assert!(exits[0].signaled());
+        assert!(!exits[0].ok());
+        let _ = std::fs::remove_dir_all(&spec.dir);
+    }
+
+    #[test]
+    fn spawn_failure_is_reported() {
+        let spec = LaunchSpec {
+            np: 2,
+            session: 7,
+            dir: scratch("missing"),
+            program: PathBuf::from("/nonexistent/definitely-not-a-program"),
+            args: vec![],
+            envs: vec![],
+        };
+        let err = launch(&spec).unwrap_err();
+        assert!(err.to_string().contains("rank 0"));
+        let _ = std::fs::remove_dir_all(&spec.dir);
+    }
+}

@@ -1,0 +1,1113 @@
+//! The TCP backend: rank-0 rendezvous, full-mesh link formation,
+//! per-peer send/receive pumps, heartbeat failure detection, and
+//! reconnect with deterministic backoff.
+//!
+//! ## Topology
+//!
+//! Every rank binds an ephemeral listener on localhost. Rank 0 writes
+//! its address to the rendezvous file (atomically: tmp + rename);
+//! joiners poll the file, dial rank 0, and introduce themselves with a
+//! [`Hello`] carrying their own listen address. Once all `np - 1`
+//! joiners have checked in, rank 0 answers each with a [`Welcome`]
+//! carrying the complete address book and keeps those connections as
+//! its mesh links. Joiners then dial every *higher* rank directly
+//! (lower rank dials higher, so each pair forms exactly one link) and
+//! block until every peer slot has a live link — [`TcpTransport::connect`]
+//! returns only on a fully formed mesh.
+//!
+//! ## Pumps and heartbeats
+//!
+//! Each link gets a writer thread (drains a queue; sends a
+//! [`FrameKind::Heartbeat`] whenever the link has been idle for one
+//! heartbeat interval) and a reader thread (decodes frames; every
+//! arrival — data or heartbeat — refreshes the peer's `last_seen`
+//! clock). A failure-detector thread scans those clocks and declares
+//! any peer silent for longer than the heartbeat timeout dead, feeding
+//! the same `DeadSet` that cooperative thread-mode crashes feed.
+//!
+//! ## Link loss
+//!
+//! A broken link (write failure, read EOF, corrupt frame) is not
+//! immediately a death: the dialing side of the pair re-dials with the
+//! chaos [`RetryPolicy`]'s capped exponential backoff, re-introduces
+//! itself, and resumes — counting one `net/reconnects`. Only when the
+//! redial budget is exhausted (or, on the accepting side, when
+//! heartbeats stay silent past the timeout) is the peer marked dead.
+//! In-flight frames on a broken link are lost; that is the wire being
+//! honest, and exactly what `send_reliable` exists to paper over.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use pdc_chaos::RetryPolicy;
+use pdc_mpc::{FrameOutcome, Transport, WireFrame, WireHandle};
+
+use crate::frame::{Frame, FrameKind, Hello, Welcome};
+
+/// Everything [`TcpTransport::connect`] needs to join a world.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// World rank this process hosts.
+    pub rank: usize,
+    /// World size.
+    pub size: usize,
+    /// Session id; all ranks of one launch must agree, and the
+    /// handshake rejects strangers from other sessions.
+    pub session: u64,
+    /// Path of the rendezvous file rank 0 publishes its address in.
+    pub rendezvous: PathBuf,
+    /// Idle gap after which a link sends a keepalive heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Silence after which the failure detector declares a peer dead.
+    /// Must comfortably exceed the interval (the default is 20x).
+    pub heartbeat_timeout: Duration,
+    /// Budget for the whole join: rendezvous, dials, mesh formation.
+    pub connect_timeout: Duration,
+    /// Backoff schedule for re-dialing a broken link; its exhaustion is
+    /// the dialer-side death verdict.
+    pub retry: RetryPolicy,
+}
+
+impl NetConfig {
+    /// A config with default timings (100ms heartbeats, 2s death
+    /// verdict, 20s join budget).
+    pub fn new(rank: usize, size: usize, session: u64, rendezvous: PathBuf) -> Self {
+        Self {
+            rank,
+            size,
+            session,
+            rendezvous,
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(20),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Read the launcher-provided environment (`PDC_NET_RANK`,
+    /// `PDC_NET_SIZE`, `PDC_NET_SESSION`, `PDC_NET_RENDEZVOUS`) — how a
+    /// worker process spawned by `pdc-run` discovers its identity.
+    pub fn from_env() -> io::Result<Self> {
+        fn var(key: &str) -> io::Result<String> {
+            std::env::var(key).map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{key} not set (worker processes are spawned by pdc-run)"),
+                )
+            })
+        }
+        fn parse<T: std::str::FromStr>(key: &str, text: &str) -> io::Result<T> {
+            text.parse().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{key} is not a valid number: {text:?}"),
+                )
+            })
+        }
+        let rank: usize = parse("PDC_NET_RANK", &var("PDC_NET_RANK")?)?;
+        let size: usize = parse("PDC_NET_SIZE", &var("PDC_NET_SIZE")?)?;
+        let session: u64 = parse("PDC_NET_SESSION", &var("PDC_NET_SESSION")?)?;
+        let rendezvous = PathBuf::from(var("PDC_NET_RENDEZVOUS")?);
+        if size == 0 || rank >= size {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("rank {rank} out of range for world size {size}"),
+            ));
+        }
+        Ok(Self::new(rank, size, session, rendezvous))
+    }
+}
+
+/// Lifecycle of one peer link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerStatus {
+    /// No link yet (mesh still forming).
+    Vacant,
+    /// Link up, pumps running.
+    Connected,
+    /// Link lost; reconnect may be in flight.
+    Down,
+    /// Peer said goodbye ([`FrameKind::Bye`]); its silence is not a death.
+    Closed,
+}
+
+struct Peer {
+    /// Queue into the writer pump; `None` while no link is up. Sends to
+    /// a linkless peer succeed vacuously — the wire is lossy by
+    /// contract, and reliability is layered above.
+    tx: Mutex<Option<mpsc::Sender<Frame>>>,
+    status: Mutex<PeerStatus>,
+    /// Bumped on every (re)install; pump threads carry their link's
+    /// generation so a stale pump's death cannot tear down its successor.
+    generation: AtomicU64,
+    /// Nanoseconds (since transport epoch) of the last frame — any
+    /// frame — received from this peer. The failure detector's clock.
+    last_seen: AtomicU64,
+}
+
+struct Shared {
+    cfg: NetConfig,
+    epoch: Instant,
+    listener: TcpListener,
+    listen_addr: SocketAddr,
+    /// `addrs[r]` = rank r's listen address, once known.
+    addrs: Mutex<Vec<Option<SocketAddr>>>,
+    peers: Vec<Peer>,
+    /// Set by [`Transport::start`]; pumps block on it before delivering.
+    handle: Mutex<Option<WireHandle>>,
+    handle_cv: Condvar,
+    shutting_down: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The real-wire transport: one instance per OS process, hosting one
+/// world rank. Obtained from [`TcpTransport::connect`], handed to
+/// `World::attach`, and shut down by the caller when the rank is done.
+pub struct TcpTransport {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("rank", &self.shared.cfg.rank)
+            .field("size", &self.shared.cfg.size)
+            .field("listen", &self.shared.listen_addr)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Join the session: bind, rendezvous, form the full mesh, start
+    /// the pumps. Returns only when a link to every peer is up (or the
+    /// join budget expires).
+    pub fn connect(cfg: NetConfig) -> io::Result<Arc<TcpTransport>> {
+        assert!(cfg.size >= 1, "world size must be at least 1");
+        assert!(cfg.rank < cfg.size, "rank out of range");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let listen_addr = listener.local_addr()?;
+        let mut addrs = vec![None; cfg.size];
+        addrs[cfg.rank] = Some(listen_addr);
+        let shared = Arc::new(Shared {
+            peers: (0..cfg.size)
+                .map(|_| Peer {
+                    tx: Mutex::new(None),
+                    status: Mutex::new(PeerStatus::Vacant),
+                    generation: AtomicU64::new(0),
+                    last_seen: AtomicU64::new(0),
+                })
+                .collect(),
+            cfg,
+            epoch: Instant::now(),
+            listener,
+            listen_addr,
+            addrs: Mutex::new(addrs),
+            handle: Mutex::new(None),
+            handle_cv: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let deadline = Instant::now() + shared.cfg.connect_timeout;
+        if shared.cfg.rank == 0 {
+            shared.publish_rendezvous()?;
+            shared.rendezvous_rank0(deadline)?;
+        } else {
+            shared.join_via_rank0(deadline)?;
+        }
+        // From here on, inbound connections (mesh dials from lower
+        // ranks, reconnects) are admitted by the accept loop.
+        {
+            let sh = Arc::clone(&shared);
+            let h = thread::spawn(move || sh.accept_loop());
+            shared.threads.lock().push(h);
+        }
+        // Dial every higher rank (rank 0's links all formed at
+        // rendezvous; each other pair is dialed by its lower member).
+        if shared.cfg.rank > 0 {
+            for peer in shared.cfg.rank + 1..shared.cfg.size {
+                let addr = shared.addrs.lock()[peer].expect("welcome filled the address book");
+                let stream = shared.dial(addr, deadline)?;
+                shared.send_hello(&stream)?;
+                shared.install_stream(peer, stream)?;
+            }
+        }
+        shared.wait_mesh(deadline)?;
+        pdc_trace::instant(
+            "net",
+            "mesh_formed",
+            vec![
+                ("rank", shared.cfg.rank.into()),
+                ("np", shared.cfg.size.into()),
+            ],
+        );
+        Ok(Arc::new(TcpTransport { shared }))
+    }
+
+    /// This process's listen address.
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// The config this transport was built from.
+    pub fn config(&self) -> &NetConfig {
+        &self.shared.cfg
+    }
+
+    /// Abruptly kill every socket and pump *without* saying goodbye —
+    /// what `kill -9` does to a real process, minus the process exit.
+    /// Peers get no Bye and no crash notice; they must notice the
+    /// silence themselves (heartbeat timeout / redial exhaustion).
+    /// For failure-detection tests and chaos drills.
+    pub fn sever(&self) {
+        let sh = &self.shared;
+        if sh.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for peer in &sh.peers {
+            *peer.tx.lock() = None;
+        }
+        // Unblock the accept loop: flip the listener to non-blocking so
+        // its next wakeup observes the flag.
+        let _ = sh.listener.set_nonblocking(true);
+        let _ = TcpStream::connect_timeout(&sh.listen_addr, Duration::from_millis(200));
+        sh.handle_cv.notify_all();
+        sh.join_pumps();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn rank(&self) -> usize {
+        self.shared.cfg.rank
+    }
+
+    fn size(&self) -> usize {
+        self.shared.cfg.size
+    }
+
+    fn hostnames(&self) -> Vec<String> {
+        // Localhost cluster — same name thread-mode worlds default to,
+        // so patternlet output is backend-independent.
+        vec!["localhost".to_owned(); self.shared.cfg.size]
+    }
+
+    fn start(&self, wire: WireHandle) {
+        {
+            let mut slot = self.shared.handle.lock();
+            assert!(slot.is_none(), "transport started twice");
+            *slot = Some(wire.clone());
+        }
+        self.shared.handle_cv.notify_all();
+        let sh = Arc::clone(&self.shared);
+        let h = thread::spawn(move || sh.detector_loop(wire));
+        self.shared.threads.lock().push(h);
+    }
+
+    fn send_frame(&self, dst: usize, frame: WireFrame) -> pdc_mpc::error::Result<FrameOutcome> {
+        let f = Frame {
+            kind: FrameKind::Data,
+            src: frame.src_group as u32,
+            tag: frame.tag,
+            comm_id: frame.comm_id,
+            ack_id: frame.ack_id,
+            overtake: frame.overtake,
+            retransmit: frame.exempt,
+            payload: frame.payload.to_vec(),
+        };
+        self.shared.enqueue(dst, f);
+        Ok(FrameOutcome::Sent)
+    }
+
+    fn announce_crash(&self) {
+        let me = self.shared.cfg.rank;
+        for peer in 0..self.shared.cfg.size {
+            if peer != me {
+                self.shared
+                    .enqueue(peer, Frame::control(FrameKind::Dead, me as u32));
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        let sh = &self.shared;
+        if sh.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Goodbyes ride behind any still-queued frames, so shutdown
+        // drains before it silences. Writers exit after writing Bye;
+        // readers exit on their next timeout poll (or the peer's Bye).
+        let me = sh.cfg.rank as u32;
+        for peer in 0..sh.cfg.size {
+            if peer != sh.cfg.rank {
+                sh.enqueue(peer, Frame::control(FrameKind::Bye, me));
+            }
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&sh.listen_addr, Duration::from_millis(200));
+        sh.handle_cv.notify_all();
+        sh.join_pumps();
+        pdc_trace::instant(
+            "net",
+            "transport_shutdown",
+            vec![("rank", sh.cfg.rank.into())],
+        );
+    }
+}
+
+/// A `Read` that turns poll timeouts into patience: retries
+/// `WouldBlock`/`TimedOut` (checking the shutdown flag between polls)
+/// so `Frame::read_from` can never desynchronize on a frame that
+/// arrives split across timeout boundaries.
+struct Patient<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+}
+
+impl Read for Patient<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match (&mut &*self.stream).read(buf) {
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if self.shared.shutting_down.load(Ordering::Relaxed) {
+                        return Err(io::Error::other("shutting down"));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Queue a frame toward `dst`; vacuous when no link is up.
+    fn enqueue(&self, dst: usize, frame: Frame) {
+        let guard = self.peers[dst].tx.lock();
+        if let Some(tx) = guard.as_ref() {
+            let _ = tx.send(frame);
+        }
+    }
+
+    /// Block until `start` has handed over the wire handle (pumps can
+    /// outrun `World::attach`); `None` means shutdown won the race.
+    fn wait_handle(&self) -> Option<WireHandle> {
+        let mut guard = self.handle.lock();
+        loop {
+            if let Some(h) = guard.as_ref() {
+                return Some(h.clone());
+            }
+            if self.is_shutting_down() {
+                return None;
+            }
+            let _ = self
+                .handle_cv
+                .wait_for(&mut guard, Duration::from_millis(50));
+        }
+    }
+
+    /// Non-blocking peek at the dead set (usable before `start`).
+    fn known_dead(&self, peer: usize) -> bool {
+        self.handle
+            .lock()
+            .as_ref()
+            .map(|h| h.is_dead(peer))
+            .unwrap_or(false)
+    }
+
+    // --- join ---------------------------------------------------------
+
+    /// Rank 0 publishes its listen address (atomically, so a joiner
+    /// never reads a half-written file).
+    fn publish_rendezvous(&self) -> io::Result<()> {
+        if let Some(dir) = self.cfg.rendezvous.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = self.cfg.rendezvous.with_extension("tmp");
+        std::fs::write(&tmp, self.listen_addr.to_string())?;
+        std::fs::rename(&tmp, &self.cfg.rendezvous)
+    }
+
+    /// Rank 0's side of the join: collect one Hello per joiner, then
+    /// answer each with the complete address book and keep the
+    /// connection as the mesh link to that rank.
+    fn rendezvous_rank0(self: &Arc<Self>, deadline: Instant) -> io::Result<()> {
+        let np = self.cfg.size;
+        self.listener.set_nonblocking(true)?;
+        let mut pending: Vec<(usize, TcpStream)> = Vec::new();
+        let mut seen = vec![false; np];
+        seen[0] = true;
+        while pending.len() < np - 1 {
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("rendezvous: {}/{} ranks checked in", pending.len() + 1, np),
+                ));
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    // A malformed or duplicate Hello just drops the
+                    // connection; the real joiner can still show up.
+                    if let Ok(rank) = self.read_hello(&stream) {
+                        if !seen[rank] {
+                            seen[rank] = true;
+                            pending.push((rank, stream));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.listener.set_nonblocking(false)?;
+        let addrs: Vec<String> = {
+            let book = self.addrs.lock();
+            book.iter()
+                .map(|a| a.expect("all ranks checked in").to_string())
+                .collect()
+        };
+        let welcome = Welcome {
+            session: self.cfg.session,
+            addrs,
+        };
+        let payload =
+            serde_json::to_vec(&welcome).map_err(|_| bad("unencodable welcome payload"))?;
+        for (rank, stream) in pending {
+            let mut f = Frame::control(FrameKind::Welcome, 0);
+            f.payload = payload.clone();
+            f.write_to(&mut &stream)?;
+            self.install_stream(rank, stream)?;
+        }
+        Ok(())
+    }
+
+    /// A joiner's side: poll the rendezvous file, dial rank 0,
+    /// introduce ourselves, learn the address book from the Welcome.
+    fn join_via_rank0(self: &Arc<Self>, deadline: Instant) -> io::Result<()> {
+        let addr0 = loop {
+            if let Ok(text) = std::fs::read_to_string(&self.cfg.rendezvous) {
+                if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                    break addr;
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no rendezvous file at {}", self.cfg.rendezvous.display()),
+                ));
+            }
+            thread::sleep(Duration::from_millis(10));
+        };
+        let stream = self.dial(addr0, deadline)?;
+        self.send_hello(&stream)?;
+        stream.set_read_timeout(Some(self.cfg.connect_timeout))?;
+        let frame = Frame::read_from(&mut &stream)?;
+        if frame.kind != FrameKind::Welcome {
+            return Err(bad("expected a welcome from rank 0"));
+        }
+        let welcome: Welcome =
+            serde_json::from_slice(&frame.payload).map_err(|_| bad("bad welcome payload"))?;
+        if welcome.session != self.cfg.session {
+            return Err(bad("welcome from a different session"));
+        }
+        if welcome.addrs.len() != self.cfg.size {
+            return Err(bad("welcome address book has wrong size"));
+        }
+        {
+            let mut book = self.addrs.lock();
+            for (rank, text) in welcome.addrs.iter().enumerate() {
+                book[rank] = Some(text.parse().map_err(|_| bad("bad address in welcome"))?);
+            }
+        }
+        self.install_stream(0, stream)
+    }
+
+    /// Dial with short per-attempt timeouts until the join deadline:
+    /// the peer's listener may not be accepting yet.
+    fn dial(&self, addr: SocketAddr, deadline: Instant) -> io::Result<TcpStream> {
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => {
+                    if Instant::now() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("dialing {addr}: {e}"),
+                        ));
+                    }
+                    thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    fn send_hello(&self, stream: &TcpStream) -> io::Result<()> {
+        let hello = Hello {
+            session: self.cfg.session,
+            rank: self.cfg.rank as u32,
+            np: self.cfg.size as u32,
+            listen: self.listen_addr.to_string(),
+        };
+        let mut f = Frame::control(FrameKind::Hello, self.cfg.rank as u32);
+        f.payload = serde_json::to_vec(&hello).map_err(|_| bad("unencodable hello payload"))?;
+        f.write_to(&mut &*stream)
+    }
+
+    /// Read and validate a Hello off a fresh connection; records the
+    /// peer's listen address and returns its rank.
+    fn read_hello(&self, stream: &TcpStream) -> io::Result<usize> {
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        let frame = Frame::read_from(&mut &*stream)?;
+        if frame.kind != FrameKind::Hello {
+            return Err(bad("expected a hello"));
+        }
+        let hello: Hello =
+            serde_json::from_slice(&frame.payload).map_err(|_| bad("bad hello payload"))?;
+        if hello.session != self.cfg.session {
+            return Err(bad("hello from a different session"));
+        }
+        if hello.np as usize != self.cfg.size {
+            return Err(bad("hello disagrees on world size"));
+        }
+        let peer = hello.rank as usize;
+        if peer >= self.cfg.size || peer == self.cfg.rank {
+            return Err(bad("hello from an impossible rank"));
+        }
+        if let Ok(addr) = hello.listen.parse() {
+            self.addrs.lock()[peer] = Some(addr);
+        }
+        Ok(peer)
+    }
+
+    /// Block until a link to every peer is up.
+    fn wait_mesh(&self, deadline: Instant) -> io::Result<()> {
+        loop {
+            let missing = (0..self.cfg.size)
+                .filter(|&p| p != self.cfg.rank && self.peers[p].tx.lock().is_none())
+                .count();
+            if missing == 0 {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("mesh formation: {missing} peers never linked"),
+                ));
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    // --- links --------------------------------------------------------
+
+    /// Which member of a pair (re)dials when the link is down: pairs
+    /// with rank 0 are dialed by the nonzero member (that is what the
+    /// rendezvous address book makes possible); other pairs by the
+    /// lower rank. Deterministic, so a pair never double-dials.
+    fn dialer_for(&self, peer: usize) -> bool {
+        let me = self.cfg.rank;
+        if peer == 0 {
+            return true; // me != 0: pairs exclude self
+        }
+        if me == 0 {
+            return false;
+        }
+        me < peer
+    }
+
+    /// Wire a fresh stream up as the link to `peer`: bump the link
+    /// generation, mark connected, and spawn the two pump threads.
+    fn install_stream(self: &Arc<Self>, peer: usize, stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.cfg.heartbeat_interval))?;
+        // A peer that stops draining (killed process, full buffers)
+        // must fail the writer, not wedge it.
+        stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+        let reader = stream.try_clone()?;
+        let (tx, rx) = mpsc::channel::<Frame>();
+        let generation = {
+            let mut status = self.peers[peer].status.lock();
+            let generation = self.peers[peer].generation.fetch_add(1, Ordering::SeqCst) + 1;
+            *status = PeerStatus::Connected;
+            generation
+        };
+        self.peers[peer]
+            .last_seen
+            .store(self.now_ns(), Ordering::Relaxed);
+        *self.peers[peer].tx.lock() = Some(tx);
+        let sh = Arc::clone(self);
+        let h = thread::spawn(move || sh.writer_pump(peer, generation, stream, rx));
+        self.threads.lock().push(h);
+        let sh = Arc::clone(self);
+        let h = thread::spawn(move || sh.reader_pump(peer, generation, reader));
+        self.threads.lock().push(h);
+        Ok(())
+    }
+
+    fn writer_pump(
+        self: Arc<Self>,
+        peer: usize,
+        generation: u64,
+        stream: TcpStream,
+        rx: mpsc::Receiver<Frame>,
+    ) {
+        let me = self.cfg.rank as u32;
+        loop {
+            match rx.recv_timeout(self.cfg.heartbeat_interval) {
+                Ok(frame) => {
+                    let bye = frame.kind == FrameKind::Bye;
+                    let wire_len = (frame.payload.len() + 40) as i64;
+                    if frame.write_to(&mut &stream).is_err() {
+                        self.link_down(peer, generation);
+                        break;
+                    }
+                    pdc_trace::counter("net", "frames_sent", 1);
+                    pdc_trace::counter("net", "bytes_sent", wire_len);
+                    if bye {
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.is_shutting_down() {
+                        break;
+                    }
+                    if Frame::control(FrameKind::Heartbeat, me)
+                        .write_to(&mut &stream)
+                        .is_err()
+                    {
+                        self.link_down(peer, generation);
+                        break;
+                    }
+                    pdc_trace::counter("net", "heartbeats_sent", 1);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        pdc_trace::flush_thread();
+    }
+
+    fn reader_pump(self: Arc<Self>, peer: usize, generation: u64, stream: TcpStream) {
+        loop {
+            let frame = match Frame::read_from(&mut Patient {
+                stream: &stream,
+                shared: &self,
+            }) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    // EOF, reset, or a corrupt frame: the stream is no
+                    // longer trustworthy, so the link comes down whole.
+                    if !self.is_shutting_down() {
+                        self.link_down(peer, generation);
+                    }
+                    break;
+                }
+            };
+            self.peers[peer]
+                .last_seen
+                .store(self.now_ns(), Ordering::Relaxed);
+            pdc_trace::counter("net", "frames_received", 1);
+            match frame.kind {
+                FrameKind::Data => {
+                    let Some(handle) = self.wait_handle() else {
+                        break;
+                    };
+                    let ack = if frame.ack_id != 0 {
+                        let sh = Arc::clone(&self);
+                        let id = frame.ack_id;
+                        let me = self.cfg.rank as u32;
+                        Some(Box::new(move || {
+                            let mut f = Frame::control(FrameKind::Ack, me);
+                            f.ack_id = id;
+                            sh.enqueue(peer, f);
+                            pdc_trace::counter("net", "acks_sent", 1);
+                        }) as Box<dyn FnOnce() + Send>)
+                    } else {
+                        None
+                    };
+                    handle.deliver(
+                        WireFrame {
+                            comm_id: frame.comm_id,
+                            src_group: frame.src as usize,
+                            tag: frame.tag,
+                            payload: Bytes::from(frame.payload),
+                            ack_id: frame.ack_id,
+                            overtake: frame.overtake,
+                            exempt: frame.retransmit,
+                        },
+                        ack,
+                    );
+                }
+                FrameKind::Ack => {
+                    let Some(handle) = self.wait_handle() else {
+                        break;
+                    };
+                    handle.complete_ack(frame.ack_id);
+                }
+                FrameKind::Heartbeat => {} // last_seen refresh was the point
+                FrameKind::Dead => {
+                    let Some(handle) = self.wait_handle() else {
+                        break;
+                    };
+                    if handle.mark_dead(frame.src as usize) {
+                        pdc_trace::counter("net", "crash_notices", 1);
+                    }
+                }
+                FrameKind::Bye => {
+                    *self.peers[peer].status.lock() = PeerStatus::Closed;
+                    *self.peers[peer].tx.lock() = None;
+                    break;
+                }
+                FrameKind::Hello | FrameKind::Welcome => {
+                    // Handshake frames mid-stream: protocol violation.
+                    self.link_down(peer, generation);
+                    break;
+                }
+            }
+        }
+        pdc_trace::flush_thread();
+    }
+
+    /// One pump of link generation `generation` saw the link fail.
+    /// First reporter wins; the dialing side starts a reconnect loop,
+    /// the accepting side waits to be re-dialed (or for the failure
+    /// detector's verdict).
+    fn link_down(self: &Arc<Self>, peer: usize, generation: u64) {
+        if self.is_shutting_down() {
+            return;
+        }
+        {
+            let mut status = self.peers[peer].status.lock();
+            if self.peers[peer].generation.load(Ordering::SeqCst) != generation {
+                return; // a stale pump outliving its replaced link
+            }
+            if *status != PeerStatus::Connected {
+                return;
+            }
+            *status = PeerStatus::Down;
+        }
+        *self.peers[peer].tx.lock() = None;
+        pdc_trace::instant("net", "link_down", vec![("peer", peer.into())]);
+        if self.dialer_for(peer) {
+            let sh = Arc::clone(self);
+            let h = thread::spawn(move || sh.reconnect_loop(peer));
+            self.threads.lock().push(h);
+        }
+    }
+
+    /// Re-dial a down peer on the retry policy's backoff schedule.
+    /// Success re-installs the link; exhaustion is a death verdict.
+    fn reconnect_loop(self: Arc<Self>, peer: usize) {
+        let retry = self.cfg.retry;
+        let a = self.cfg.rank.min(peer) as u64;
+        let b = self.cfg.rank.max(peer) as u64;
+        let stream_key = 0x52434E ^ (a << 32) ^ b; // "RCN"
+        for attempt in 1..=retry.max_attempts {
+            if self.is_shutting_down() || self.known_dead(peer) {
+                pdc_trace::flush_thread();
+                return;
+            }
+            thread::sleep(retry.backoff(self.cfg.session, stream_key, attempt));
+            let addr = self.addrs.lock()[peer];
+            let Some(addr) = addr else { continue };
+            let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+                continue;
+            };
+            if self.send_hello(&stream).is_err() {
+                continue;
+            }
+            if self.install_stream(peer, stream).is_ok() {
+                pdc_trace::counter("net", "reconnects", 1);
+                pdc_trace::instant("net", "reconnected", vec![("peer", peer.into())]);
+                pdc_trace::flush_thread();
+                return;
+            }
+        }
+        // The redial budget is spent: the dialer-side death verdict.
+        if let Some(handle) = self.wait_handle() {
+            if handle.mark_dead(peer) {
+                pdc_trace::counter("net", "deaths_detected", 1);
+                pdc_trace::instant("net", "redial_exhausted", vec![("peer", peer.into())]);
+            }
+        }
+        pdc_trace::flush_thread();
+    }
+
+    // --- background threads -------------------------------------------
+
+    /// Admit inbound connections after the mesh formed: re-dials of a
+    /// broken link, or (for rank 0) nothing — but the loop runs
+    /// everywhere for symmetry.
+    fn accept_loop(self: Arc<Self>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.is_shutting_down() {
+                        break;
+                    }
+                    // Bad handshakes just drop the connection.
+                    if let Ok(peer) = self.read_hello(&stream) {
+                        let _ = self.install_stream(peer, stream);
+                    }
+                }
+                Err(_) => {
+                    if self.is_shutting_down() {
+                        break;
+                    }
+                }
+            }
+        }
+        pdc_trace::flush_thread();
+    }
+
+    /// Scan every peer's `last_seen` clock; silence past the heartbeat
+    /// timeout is the acceptor-side death verdict. Peers that said
+    /// goodbye are exempt — their silence is retirement, not death.
+    fn detector_loop(self: Arc<Self>, handle: WireHandle) {
+        let timeout_ns = self.cfg.heartbeat_timeout.as_nanos() as u64;
+        loop {
+            if self.is_shutting_down() {
+                break;
+            }
+            thread::sleep(self.cfg.heartbeat_interval);
+            let now = self.now_ns();
+            for peer in 0..self.cfg.size {
+                if peer == self.cfg.rank
+                    || handle.is_dead(peer)
+                    || *self.peers[peer].status.lock() == PeerStatus::Closed
+                {
+                    continue;
+                }
+                let seen = self.peers[peer].last_seen.load(Ordering::Relaxed);
+                if now.saturating_sub(seen) > timeout_ns && handle.mark_dead(peer) {
+                    pdc_trace::counter("net", "deaths_detected", 1);
+                    pdc_trace::instant("net", "heartbeat_timeout", vec![("peer", peer.into())]);
+                }
+            }
+        }
+        pdc_trace::flush_thread();
+    }
+
+    /// Join every thread this transport ever spawned. Pumps notice the
+    /// shutdown flag within one heartbeat interval (all socket reads
+    /// and queue waits are timeout-bounded); threads spawned *while*
+    /// draining (a last reconnect) are caught by re-checking.
+    fn join_pumps(&self) {
+        loop {
+            let handle = self.threads.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+fn bad(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_mpc::prelude::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static SESSION_SALT: AtomicUsize = AtomicUsize::new(0);
+
+    /// A scratch dir + session id unique to one test.
+    fn scratch(name: &str) -> (PathBuf, u64) {
+        let salt = SESSION_SALT.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("pdc-net-{name}-{pid}-{salt}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let session = ((pid as u64) << 20) | salt as u64;
+        (dir, session)
+    }
+
+    /// Run `body(rank)` for every rank on its own thread, each with a
+    /// fresh transport joined to the same session — np processes
+    /// faked as np threads, exercising the full TCP path.
+    fn with_mesh<T: Send + 'static>(
+        name: &str,
+        np: usize,
+        tune: impl Fn(&mut NetConfig) + Sync,
+        body: impl Fn(usize, Arc<TcpTransport>) -> T + Sync,
+    ) -> Vec<T> {
+        let (dir, session) = scratch(name);
+        let rendezvous = dir.join("rendezvous.addr");
+        let results: Vec<T> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..np)
+                .map(|rank| {
+                    let rendezvous = rendezvous.clone();
+                    let tune = &tune;
+                    let body = &body;
+                    scope.spawn(move || {
+                        let mut cfg = NetConfig::new(rank, np, session, rendezvous);
+                        tune(&mut cfg);
+                        let transport = TcpTransport::connect(cfg).expect("join");
+                        body(rank, transport)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        results
+    }
+
+    #[test]
+    fn mesh_forms_and_ring_passes_messages() {
+        let outputs = with_mesh(
+            "ring",
+            3,
+            |_| {},
+            |rank, transport| {
+                let comm = World::new(3).attach(transport.clone() as Arc<dyn pdc_mpc::Transport>);
+                let next = (rank + 1) % 3;
+                let prev = (rank + 2) % 3;
+                comm.send(next, 7, &format!("from {rank}")).unwrap();
+                let got: String = comm.recv(Source::Rank(prev), TagSel::Tag(7)).unwrap();
+                transport.shutdown();
+                got
+            },
+        );
+        assert_eq!(
+            outputs,
+            vec![
+                "from 2".to_string(),
+                "from 0".to_string(),
+                "from 1".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn ssend_and_send_reliable_cross_the_wire() {
+        let sums = with_mesh(
+            "rel",
+            2,
+            |_| {},
+            |rank, transport| {
+                let comm = World::new(2).attach(transport.clone() as Arc<dyn pdc_mpc::Transport>);
+                let out = if rank == 0 {
+                    comm.ssend(1, 1, &10u64).unwrap();
+                    comm.send_reliable(1, 2, &32u64).unwrap();
+                    0
+                } else {
+                    let a: u64 = comm.recv(Source::Rank(0), TagSel::Tag(1)).unwrap();
+                    let b: u64 = comm.recv(Source::Rank(0), TagSel::Tag(2)).unwrap();
+                    a + b
+                };
+                transport.shutdown();
+                out
+            },
+        );
+        assert_eq!(sums, vec![0, 42]);
+    }
+
+    #[test]
+    fn collectives_run_over_the_wire() {
+        let results = with_mesh(
+            "coll",
+            4,
+            |_| {},
+            |rank, transport| {
+                let comm = World::new(4).attach(transport.clone() as Arc<dyn pdc_mpc::Transport>);
+                let root_value = if rank == 0 { Some(99u64) } else { None };
+                let b: u64 = comm.bcast(0, root_value).unwrap();
+                let sum: u64 = comm.allreduce(rank as u64, ops::sum).unwrap();
+                let gathered: Option<Vec<u64>> = comm.gather(0, rank as u64).unwrap();
+                transport.shutdown();
+                (b, sum, gathered)
+            },
+        );
+        for (rank, (b, sum, gathered)) in results.into_iter().enumerate() {
+            assert_eq!(b, 99);
+            assert_eq!(sum, 6);
+            if rank == 0 {
+                assert_eq!(gathered, Some(vec![0, 1, 2, 3]));
+            } else {
+                assert_eq!(gathered, None);
+            }
+        }
+    }
+
+    #[test]
+    fn severed_peer_is_detected_and_survivors_shrink() {
+        let fast = |cfg: &mut NetConfig| {
+            cfg.heartbeat_interval = Duration::from_millis(20);
+            cfg.heartbeat_timeout = Duration::from_millis(400);
+        };
+        let survivors = with_mesh("sever", 3, fast, |rank, transport| {
+            let comm = World::new(3).attach(transport.clone() as Arc<dyn pdc_mpc::Transport>);
+            if rank == 2 {
+                // Die without a goodbye: no Bye, no crash notice.
+                transport.sever();
+                return 0;
+            }
+            // Survivors block on the dead rank until the failure
+            // detector (heartbeat timeout or redial exhaustion)
+            // interrupts them with PeerGone.
+            let err = comm
+                .recv::<u64>(Source::Rank(2), TagSel::Tag(5))
+                .unwrap_err();
+            assert!(
+                matches!(err, MpcError::PeerGone { rank: 2 }),
+                "expected PeerGone for rank 2, got {err:?}"
+            );
+            let shrunk = comm.shrink().unwrap();
+            assert_eq!(shrunk.size(), 2);
+            // The shrunk world still works end to end.
+            let total: u64 = shrunk
+                .allreduce(10 + shrunk.rank() as u64, ops::sum)
+                .unwrap();
+            transport.shutdown();
+            total
+        });
+        assert_eq!(survivors, vec![21, 21, 0]);
+    }
+
+    #[test]
+    fn from_env_requires_all_variables() {
+        // Deliberately does not set the variables; the error must name
+        // the missing one. (Env mutation is avoided: tests run in
+        // parallel threads of one process.)
+        let err = NetConfig::from_env().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("PDC_NET_"));
+    }
+
+    #[test]
+    fn sends_to_linkless_peers_are_vacuous() {
+        let (dir, session) = scratch("solo");
+        let cfg = NetConfig::new(0, 1, session, dir.join("rendezvous.addr"));
+        let transport = TcpTransport::connect(cfg).unwrap();
+        assert_eq!(transport.size(), 1);
+        assert_eq!(transport.hostnames(), vec!["localhost".to_string()]);
+        transport.shutdown();
+        transport.shutdown(); // idempotent
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

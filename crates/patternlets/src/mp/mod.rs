@@ -4,6 +4,7 @@
 
 pub mod basics;
 pub mod collectives;
+pub mod netsuite;
 pub mod p2p;
 pub mod worker;
 

@@ -1,0 +1,644 @@
+//! The Module B patternlet catalog, re-expressed so it can run over an
+//! *attached* communicator — in particular a `pdc-net` TCP transport
+//! where each rank is a real OS process.
+//!
+//! The catalog runners in the sibling modules own their worlds: each
+//! spawns `n` threads via [`pdc_mpc::World::run`]. A wire-mode rank
+//! cannot do that — it *is* one rank of an existing world — so every
+//! patternlet here is a [`NetPatternlet`]: a body that runs on a
+//! borrowed [`Comm`] plus a whole-suite checker over the gathered
+//! per-rank output. [`run_suite`] drives all fifteen in notebook order
+//! with a barrier between consecutive patternlets (so tag reuse across
+//! patternlets can never cross-match) and verifies the combined output
+//! at rank 0.
+//!
+//! The same bodies run unchanged over a thread-mode world, which is how
+//! the equivalence test pins wire and thread behaviour to each other.
+
+use std::time::Duration;
+
+use pdc_mpc::{ops, Comm, MpcError, Source, TagSel};
+
+/// One patternlet in comm-borrowing form.
+pub struct NetPatternlet {
+    /// Catalog id — matches the corresponding [`crate::Patternlet`].
+    pub id: &'static str,
+    /// Per-rank body: produce this rank's output lines.
+    pub body: fn(&Comm) -> Vec<String>,
+    /// Whole-suite check over per-rank lines in rank order, given the
+    /// world size. Returns a description of the first violation.
+    pub check: fn(usize, &[Vec<String>]) -> Result<(), String>,
+}
+
+fn fail(id: &str, why: impl std::fmt::Display) -> String {
+    format!("{id}: {why}")
+}
+
+fn expect_line(
+    id: &str,
+    per_rank: &[Vec<String>],
+    rank: usize,
+    idx: usize,
+    want: &str,
+) -> Result<(), String> {
+    let got = per_rank
+        .get(rank)
+        .and_then(|lines| lines.get(idx))
+        .ok_or_else(|| fail(id, format!("rank {rank} produced no line {idx}")))?;
+    if got != want {
+        return Err(fail(
+            id,
+            format!("rank {rank} line {idx}: {got:?} != {want:?}"),
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- bodies
+
+fn spmd_body(comm: &Comm) -> Vec<String> {
+    vec![format!(
+        "Greetings from process {} of {} on {}",
+        comm.rank(),
+        comm.size(),
+        comm.processor_name()
+    )]
+}
+
+fn ordered_body(comm: &Comm) -> Vec<String> {
+    if comm.rank() > 0 {
+        let _token: u8 = comm.recv(comm.rank() - 1, 0).unwrap();
+    }
+    let line = format!("Process {} reporting in order", comm.rank());
+    if comm.rank() + 1 < comm.size() {
+        comm.send(comm.rank() + 1, 0, &1u8).unwrap();
+    }
+    vec![line]
+}
+
+fn sendrecv_body(comm: &Comm) -> Vec<String> {
+    if comm.rank() == 0 {
+        for w in 1..comm.size() {
+            comm.send(w, 0, &format!("Hello, process {w}")).unwrap();
+        }
+        vec![format!("Process 0 sent {} messages", comm.size() - 1)]
+    } else {
+        let msg: String = comm.recv(0, 0).unwrap();
+        vec![format!("Process {} got: {msg}", comm.rank())]
+    }
+}
+
+fn ring_body(comm: &Comm) -> Vec<String> {
+    let (rank, size) = (comm.rank(), comm.size());
+    if size == 1 {
+        return vec![format!("Process 0 final token: {rank}")];
+    }
+    if rank == 0 {
+        comm.send(1 % size, 0, &0u64).unwrap();
+        let token: u64 = comm.recv(size - 1, 0).unwrap();
+        vec![format!("Process 0 final token: {token}")]
+    } else {
+        let token: u64 = comm.recv(rank - 1, 0).unwrap();
+        let token = token + rank as u64;
+        comm.send((rank + 1) % size, 0, &token).unwrap();
+        vec![format!("Process {rank} passed token {token}")]
+    }
+}
+
+fn exchange_body(comm: &Comm) -> Vec<String> {
+    let partner = comm.rank() ^ 1;
+    if partner >= comm.size() {
+        return vec![format!("Process {} has no partner", comm.rank())];
+    }
+    let (got, _) = comm
+        .sendrecv::<u64, u64>(partner, 0, &(comm.rank() as u64 * 100), partner, 0)
+        .unwrap();
+    vec![format!("Process {} received {got}", comm.rank())]
+}
+
+fn deadlock_body(comm: &Comm) -> Vec<String> {
+    // The demo needs exactly two actors; extra ranks watch from the side
+    // (a wire-mode world keeps its size for the whole session).
+    if comm.rank() >= 2 || comm.size() < 2 {
+        return vec![format!("Process {} sat out the deadlock demo", comm.rank())];
+    }
+    let other = 1 - comm.rank();
+    let broken: Result<(String, _), MpcError> =
+        comm.recv_timeout(other, 0, Duration::from_millis(100));
+    let line1 = match broken {
+        Err(MpcError::Timeout { .. }) => {
+            format!("Process {}: recv blocked forever (DEADLOCK)", comm.rank())
+        }
+        other => format!("Process {}: unexpected: {other:?}", comm.rank()),
+    };
+    let msg = if comm.rank() == 0 {
+        comm.send(1, 1, &"hi from 0".to_owned()).unwrap();
+        comm.recv::<String>(1, 1).unwrap()
+    } else {
+        let m = comm.recv::<String>(0, 1).unwrap();
+        comm.send(0, 1, &"hi from 1".to_owned()).unwrap();
+        m
+    };
+    vec![
+        line1,
+        format!("Process {}: fixed, got '{msg}'", comm.rank()),
+    ]
+}
+
+const MW_TASKS: i64 = 12;
+
+fn masterworker_body(comm: &Comm) -> Vec<String> {
+    assert!(comm.size() >= 2, "master-worker needs at least one worker");
+    if comm.rank() == 0 {
+        for task in 0..MW_TASKS {
+            let (worker, _st) = comm
+                .recv_status::<usize>(Source::Any, TagSel::Tag(0))
+                .unwrap();
+            comm.send(worker, 1, &task).unwrap();
+        }
+        for _ in 1..comm.size() {
+            let (worker, _st) = comm
+                .recv_status::<usize>(Source::Any, TagSel::Tag(0))
+                .unwrap();
+            comm.send(worker, 1, &-1i64).unwrap();
+        }
+        vec![format!(
+            "Master dealt {MW_TASKS} tasks to {} workers",
+            comm.size() - 1
+        )]
+    } else {
+        let mut done = Vec::new();
+        loop {
+            comm.send(0, 0, &comm.rank()).unwrap();
+            let task: i64 = comm.recv(0, 1).unwrap();
+            if task < 0 {
+                break;
+            }
+            done.push(task);
+        }
+        vec![format!(
+            "Worker {} completed {} tasks: {done:?}",
+            comm.rank(),
+            done.len()
+        )]
+    }
+}
+
+const LOOP_REPS: usize = 8;
+
+fn equal_chunks_body(comm: &Comm) -> Vec<String> {
+    let chunk = LOOP_REPS / comm.size();
+    let start = comm.rank() * chunk;
+    let end = if comm.rank() == comm.size() - 1 {
+        LOOP_REPS
+    } else {
+        start + chunk
+    };
+    (start..end)
+        .map(|i| format!("Process {} is performing iteration {i}", comm.rank()))
+        .collect()
+}
+
+fn chunks_of_one_body(comm: &Comm) -> Vec<String> {
+    (comm.rank()..LOOP_REPS)
+        .step_by(comm.size())
+        .map(|i| format!("Process {} is performing iteration {i}", comm.rank()))
+        .collect()
+}
+
+fn broadcast_body(comm: &Comm) -> Vec<String> {
+    let data = (comm.rank() == 0).then(|| ("config.txt".to_owned(), 42u32));
+    let data = comm.bcast(0, data).unwrap();
+    vec![format!(
+        "Process {} has (\"{}\", {})",
+        comm.rank(),
+        data.0,
+        data.1
+    )]
+}
+
+fn scatter_body(comm: &Comm) -> Vec<String> {
+    let pieces =
+        (comm.rank() == 0).then(|| (0..comm.size()).map(|i| vec![i * 10, i * 10 + 1]).collect());
+    let mine: Vec<usize> = comm.scatter(0, pieces).unwrap();
+    vec![format!("Process {} got {mine:?}", comm.rank())]
+}
+
+fn gather_body(comm: &Comm) -> Vec<String> {
+    let square = comm.rank() * comm.rank();
+    match comm.gather(0, square).unwrap() {
+        Some(all) => vec![format!("Gathered {all:?}")],
+        None => vec![format!("Process {} contributed {square}", comm.rank())],
+    }
+}
+
+fn allgather_body(comm: &Comm) -> Vec<String> {
+    let everything = comm.allgather(comm.rank() + 100).unwrap();
+    vec![format!("Process {} sees {everything:?}", comm.rank())]
+}
+
+fn reduce_body(comm: &Comm) -> Vec<String> {
+    let local = comm.rank() as u64 + 1;
+    let total = comm.reduce(0, local, ops::sum).unwrap();
+    let biggest = comm.reduce(0, local, ops::max).unwrap();
+    match (total, biggest) {
+        (Some(t), Some(b)) => vec![format!("sum = {t}, max = {b}")],
+        _ => vec![format!("Process {} contributed {local}", comm.rank())],
+    }
+}
+
+fn scan_body(comm: &Comm) -> Vec<String> {
+    let total = comm.scan(comm.rank() as u64 + 1, ops::sum).unwrap();
+    vec![format!("Process {}: running total {total}", comm.rank())]
+}
+
+// ---------------------------------------------------------------- checks
+
+fn spmd_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for (r, lines) in per_rank.iter().enumerate().take(np) {
+        let want = format!("Greetings from process {r} of {np} on ");
+        let got = lines
+            .first()
+            .ok_or_else(|| fail("mp.spmd", format!("rank {r} silent")))?;
+        if !got.starts_with(&want) {
+            return Err(fail("mp.spmd", format!("rank {r}: {got:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn ordered_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for r in 0..np {
+        expect_line(
+            "mp.ordered",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r} reporting in order"),
+        )?;
+    }
+    Ok(())
+}
+
+fn sendrecv_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    expect_line(
+        "mp.sendrecv",
+        per_rank,
+        0,
+        0,
+        &format!("Process 0 sent {} messages", np - 1),
+    )?;
+    for r in 1..np {
+        expect_line(
+            "mp.sendrecv",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r} got: Hello, process {r}"),
+        )?;
+    }
+    Ok(())
+}
+
+fn ring_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    let sum: u64 = (1..np as u64).sum();
+    expect_line(
+        "mp.ring",
+        per_rank,
+        0,
+        0,
+        &format!("Process 0 final token: {sum}"),
+    )
+}
+
+fn exchange_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for r in 0..np {
+        let partner = r ^ 1;
+        let want = if partner >= np {
+            format!("Process {r} has no partner")
+        } else {
+            format!("Process {r} received {}", partner * 100)
+        };
+        expect_line("mp.exchange", per_rank, r, 0, &want)?;
+    }
+    Ok(())
+}
+
+fn deadlock_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for (r, lines) in per_rank.iter().enumerate().take(2.min(np)) {
+        if !lines.first().is_some_and(|l| l.contains("DEADLOCK")) {
+            return Err(fail(
+                "mp.deadlock",
+                format!("rank {r} saw no deadlock: {lines:?}"),
+            ));
+        }
+        let hi = format!("fixed, got 'hi from {}'", 1 - r);
+        if !lines.get(1).is_some_and(|l| l.contains(&hi)) {
+            return Err(fail(
+                "mp.deadlock",
+                format!("rank {r} never fixed it: {lines:?}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn masterworker_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    expect_line(
+        "mp.masterworker",
+        per_rank,
+        0,
+        0,
+        &format!("Master dealt {MW_TASKS} tasks to {} workers", np - 1),
+    )?;
+    // Union of the per-worker task lists must be 0..MW_TASKS exactly.
+    let mut all: Vec<i64> = Vec::new();
+    for lines in &per_rank[1..np] {
+        let line = lines
+            .first()
+            .ok_or_else(|| fail("mp.masterworker", "silent worker"))?;
+        let inside = line
+            .split('[')
+            .nth(1)
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| fail("mp.masterworker", format!("unparseable: {line:?}")))?;
+        if !inside.is_empty() {
+            for part in inside.split(", ") {
+                all.push(
+                    part.parse::<i64>()
+                        .map_err(|_| fail("mp.masterworker", format!("bad task id {part:?}")))?,
+                );
+            }
+        }
+    }
+    all.sort_unstable();
+    if all != (0..MW_TASKS).collect::<Vec<_>>() {
+        return Err(fail("mp.masterworker", format!("task union {all:?}")));
+    }
+    Ok(())
+}
+
+fn loop_iterations(id: &str, per_rank: &[Vec<String>]) -> Result<Vec<usize>, String> {
+    let mut iters = Vec::new();
+    for lines in per_rank {
+        for line in lines {
+            let n = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| fail(id, format!("unparseable: {line:?}")))?;
+            iters.push(n);
+        }
+    }
+    Ok(iters)
+}
+
+fn equal_chunks_check(_np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    // Rank-ordered flatten covers 0..REPS contiguously.
+    let iters = loop_iterations("mp.loop.equal", per_rank)?;
+    if iters != (0..LOOP_REPS).collect::<Vec<_>>() {
+        return Err(fail("mp.loop.equal", format!("iterations {iters:?}")));
+    }
+    Ok(())
+}
+
+fn chunks_of_one_check(_np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    // Strided deal: sorted union covers 0..REPS exactly once.
+    let mut iters = loop_iterations("mp.loop.chunks1", per_rank)?;
+    iters.sort_unstable();
+    if iters != (0..LOOP_REPS).collect::<Vec<_>>() {
+        return Err(fail("mp.loop.chunks1", format!("iterations {iters:?}")));
+    }
+    Ok(())
+}
+
+fn broadcast_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for r in 0..np {
+        expect_line(
+            "mp.broadcast",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r} has (\"config.txt\", 42)"),
+        )?;
+    }
+    Ok(())
+}
+
+fn scatter_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    for r in 0..np {
+        expect_line(
+            "mp.scatter",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r} got [{}, {}]", r * 10, r * 10 + 1),
+        )?;
+    }
+    Ok(())
+}
+
+fn gather_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    let squares: Vec<usize> = (0..np).map(|r| r * r).collect();
+    expect_line(
+        "mp.gather",
+        per_rank,
+        0,
+        0,
+        &format!("Gathered {squares:?}"),
+    )
+}
+
+fn allgather_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    let everything: Vec<usize> = (0..np).map(|r| r + 100).collect();
+    for r in 0..np {
+        expect_line(
+            "mp.allgather",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r} sees {everything:?}"),
+        )?;
+    }
+    Ok(())
+}
+
+fn reduce_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    let sum: u64 = (1..=np as u64).sum();
+    expect_line(
+        "mp.reduce",
+        per_rank,
+        0,
+        0,
+        &format!("sum = {sum}, max = {np}"),
+    )
+}
+
+fn scan_check(np: usize, per_rank: &[Vec<String>]) -> Result<(), String> {
+    let mut running = 0u64;
+    for r in 0..np {
+        running += r as u64 + 1;
+        expect_line(
+            "mp.scan",
+            per_rank,
+            r,
+            0,
+            &format!("Process {r}: running total {running}"),
+        )?;
+    }
+    Ok(())
+}
+
+/// The full Module B catalog in comm-borrowing form, notebook order —
+/// the same fifteen ids as [`super::ALL`].
+pub static NET_SUITE: &[NetPatternlet] = &[
+    NetPatternlet {
+        id: "mp.spmd",
+        body: spmd_body,
+        check: spmd_check,
+    },
+    NetPatternlet {
+        id: "mp.ordered",
+        body: ordered_body,
+        check: ordered_check,
+    },
+    NetPatternlet {
+        id: "mp.sendrecv",
+        body: sendrecv_body,
+        check: sendrecv_check,
+    },
+    NetPatternlet {
+        id: "mp.ring",
+        body: ring_body,
+        check: ring_check,
+    },
+    NetPatternlet {
+        id: "mp.exchange",
+        body: exchange_body,
+        check: exchange_check,
+    },
+    NetPatternlet {
+        id: "mp.deadlock",
+        body: deadlock_body,
+        check: deadlock_check,
+    },
+    NetPatternlet {
+        id: "mp.masterworker",
+        body: masterworker_body,
+        check: masterworker_check,
+    },
+    NetPatternlet {
+        id: "mp.loop.equal",
+        body: equal_chunks_body,
+        check: equal_chunks_check,
+    },
+    NetPatternlet {
+        id: "mp.loop.chunks1",
+        body: chunks_of_one_body,
+        check: chunks_of_one_check,
+    },
+    NetPatternlet {
+        id: "mp.broadcast",
+        body: broadcast_body,
+        check: broadcast_check,
+    },
+    NetPatternlet {
+        id: "mp.scatter",
+        body: scatter_body,
+        check: scatter_check,
+    },
+    NetPatternlet {
+        id: "mp.gather",
+        body: gather_body,
+        check: gather_check,
+    },
+    NetPatternlet {
+        id: "mp.allgather",
+        body: allgather_body,
+        check: allgather_check,
+    },
+    NetPatternlet {
+        id: "mp.reduce",
+        body: reduce_body,
+        check: reduce_check,
+    },
+    NetPatternlet {
+        id: "mp.scan",
+        body: scan_body,
+        check: scan_check,
+    },
+];
+
+/// Run the whole suite on a borrowed communicator.
+///
+/// Every rank calls this with its `Comm`. Between patternlets all ranks
+/// barrier (patternlets reuse tags; the barrier guarantees patternlet
+/// *k*'s traffic is fully consumed before *k+1*'s begins), then each
+/// rank's lines are gathered to rank 0 in rank order and checked.
+///
+/// Rank 0 returns one `"<id>: ok (<n> lines)"` summary per patternlet
+/// (or the first check failure as `Err`); other ranks return an empty
+/// list on success. A communication failure anywhere surfaces as `Err`.
+pub fn run_suite(comm: &Comm) -> Result<Vec<String>, String> {
+    let mut summaries = Vec::new();
+    for p in NET_SUITE {
+        let lines = (p.body)(comm);
+        let gathered = comm
+            .gather(0, lines)
+            .map_err(|e| fail(p.id, format!("gather failed: {e}")))?;
+        if let Some(per_rank) = gathered {
+            (p.check)(comm.size(), &per_rank)?;
+            let total: usize = per_rank.iter().map(Vec::len).sum();
+            summaries.push(format!("{}: ok ({total} lines)", p.id));
+        }
+        comm.barrier()
+            .map_err(|e| fail(p.id, format!("barrier failed: {e}")))?;
+    }
+    Ok(summaries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_mpc::World;
+
+    #[test]
+    fn ids_match_the_catalog_exactly() {
+        let suite: Vec<&str> = NET_SUITE.iter().map(|p| p.id).collect();
+        let catalog: Vec<&str> = super::super::ALL.iter().map(|p| p.id).collect();
+        assert_eq!(suite, catalog, "NET_SUITE must mirror mp::ALL in order");
+    }
+
+    #[test]
+    fn suite_passes_on_a_thread_world_of_4() {
+        let results = World::new(4).run(|comm| run_suite(&comm));
+        let summaries = results[0].as_ref().expect("suite clean");
+        assert_eq!(summaries.len(), NET_SUITE.len());
+        assert!(
+            summaries.iter().all(|s| s.contains(": ok (")),
+            "{summaries:?}"
+        );
+        for result in &results[1..] {
+            assert_eq!(result.as_ref().unwrap().len(), 0);
+        }
+    }
+
+    #[test]
+    fn suite_passes_on_a_thread_world_of_2() {
+        let results = World::new(2).run(|comm| run_suite(&comm));
+        assert!(results[0].is_ok(), "{:?}", results[0]);
+    }
+
+    #[test]
+    fn checks_reject_tampered_output() {
+        // Sanity that the checkers actually check: a wrong gather line.
+        let per_rank = vec![
+            vec!["Gathered [0, 1, 4, 8]".to_owned()],
+            vec![],
+            vec![],
+            vec![],
+        ];
+        let err = gather_check(4, &per_rank).unwrap_err();
+        assert!(err.contains("mp.gather"), "{err}");
+    }
+}

@@ -62,6 +62,9 @@ fn args_json(args: &[(&'static str, ArgValue)], out: &mut String) {
 /// value tracks. Thread labels registered via
 /// [`crate::set_thread_label`] become row names.
 pub fn chrome_trace(events: &[Event]) -> String {
+    // The real OS pid: merged traces from several rank processes keep
+    // their rows apart instead of colliding on a synthetic pid 0.
+    let pid = std::process::id();
     let mut out = String::from("[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -72,11 +75,21 @@ pub fn chrome_trace(events: &[Event]) -> String {
         out.push('\n');
     };
 
+    if let Some(label) = crate::process_label() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        );
+        escape_into(&label, &mut out);
+        out.push_str("}}");
+    }
+
     for (tid, label) in crate::thread_labels() {
         sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":"
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":"
         );
         escape_into(&label, &mut out);
         out.push_str("}}");
@@ -94,7 +107,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 let dur_us = *dur_ns as f64 / 1_000.0;
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\"pid\":0,\"tid\":{},\"args\":",
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts_us},\"dur\":{dur_us},\"pid\":{pid},\"tid\":{},\"args\":",
                     e.name, e.category, e.tid
                 );
                 args_json(&e.args, &mut out);
@@ -103,7 +116,7 @@ pub fn chrome_trace(events: &[Event]) -> String {
             EventKind::Instant => {
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{ts_us},\"s\":\"t\",\"pid\":0,\"tid\":{},\"args\":",
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{ts_us},\"s\":\"t\",\"pid\":{pid},\"tid\":{},\"args\":",
                     e.name, e.category, e.tid
                 );
                 args_json(&e.args, &mut out);
@@ -114,14 +127,14 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 *level += delta;
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":0,\"tid\":{},\"args\":{{\"{}\":{}}}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{},\"args\":{{\"{}\":{}}}}}",
                     e.name, e.category, e.tid, e.name, *level
                 );
             }
             EventKind::Gauge { value } => {
                 let _ = write!(
                     out,
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":0,\"tid\":{},\"args\":{{\"{}\":{}}}}}",
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"C\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{},\"args\":{{\"{}\":{}}}}}",
                     e.name,
                     e.category,
                     e.tid,
@@ -139,6 +152,10 @@ pub fn chrome_trace(events: &[Event]) -> String {
 /// the same shape other workspace telemetry (e.g.
 /// `TrafficMatrix::to_jsonl`) uses, so streams can be concatenated.
 pub fn jsonl(events: &[Event]) -> String {
+    // Stamp each line with the emitting OS pid so streams merged from
+    // several rank processes stay attributable (and `pdc-analyze` can
+    // tell a multi-process run from sequential same-process runs).
+    let pid = std::process::id();
     let mut out = String::new();
     for e in events {
         out.push('{');
@@ -150,7 +167,7 @@ pub fn jsonl(events: &[Event]) -> String {
         };
         let _ = write!(
             out,
-            "\"kind\":\"{kind}\",\"cat\":\"{}\",\"name\":\"{}\",\"ts_ns\":{},\"tid\":{}",
+            "\"kind\":\"{kind}\",\"cat\":\"{}\",\"name\":\"{}\",\"ts_ns\":{},\"tid\":{},\"pid\":{pid}",
             e.category, e.name, e.ts_ns, e.tid
         );
         match &e.kind {

@@ -150,6 +150,8 @@ struct RegistryInner {
     parked: Vec<Event>,
     /// Labels registered for thread ids (`set_thread_label`).
     labels: Vec<(u32, String)>,
+    /// Label for this whole process (`set_process_label`).
+    process_label: Option<String>,
 }
 
 /// Turn tracing on. Events recorded while enabled stay buffered until
@@ -268,6 +270,7 @@ pub fn reset() {
     let mut reg = registry().lock().expect("trace registry");
     reg.parked.clear();
     reg.labels.clear();
+    reg.process_label = None;
 }
 
 /// Attach a human-readable label (e.g. `"rank 2"`, `"worker 3"`) to the
@@ -285,6 +288,22 @@ pub fn set_thread_label(label: impl Into<String>) {
 /// Snapshot of registered thread labels, for exporters.
 pub fn thread_labels() -> Vec<(u32, String)> {
     registry().lock().expect("trace registry").labels.clone()
+}
+
+/// Attach a human-readable label (e.g. `"rank 2 (pid 4711)"`) to this
+/// whole *process*; exporters use it to name the process group when
+/// traces from several OS processes are merged on one timeline.
+pub fn set_process_label(label: impl Into<String>) {
+    registry().lock().expect("trace registry").process_label = Some(label.into());
+}
+
+/// The registered process label, if any.
+pub fn process_label() -> Option<String> {
+    registry()
+        .lock()
+        .expect("trace registry")
+        .process_label
+        .clone()
 }
 
 // ---------------------------------------------------------------------

@@ -344,3 +344,84 @@ fn heat_rejects_unstable_configuration_before_running() {
     };
     assert!(std::panic::catch_unwind(|| pdc_exemplars::heat::run_seq(&bad)).is_err());
 }
+
+#[test]
+fn shrink_after_two_sequential_crashes() {
+    // Ranks 1 and 3 die at different compute steps; the three survivors
+    // observe both deaths, then rebuild in a single shrink.
+    let inj = Arc::new(FaultInjector::new(
+        FaultPlan::new(5).with_crash(1, 0).with_crash(3, 1),
+    ));
+    let out = World::new(5)
+        .with_fault_injector(Arc::clone(&inj))
+        .run(|c| {
+            for _ in 0..2 {
+                if c.chaos_step().is_err() {
+                    return None;
+                }
+            }
+            while c.is_alive(1) || c.is_alive(3) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let alive = c.shrink().unwrap();
+            // Gather everyone's *world* identity through the shrunk
+            // communicator: dense renumbering must preserve order.
+            let worlds = alive.allgather(c.rank()).unwrap();
+            Some((alive.rank(), alive.size(), worlds))
+        });
+    assert_eq!(out[1], None, "rank 1 unwound at its first step");
+    assert_eq!(out[3], None, "rank 3 unwound at its second step");
+    for (shrunk_rank, world_rank) in [(0usize, 0usize), (1, 2), (2, 4)] {
+        assert_eq!(
+            out[world_rank],
+            Some((shrunk_rank, 3, vec![0, 2, 4])),
+            "world rank {world_rank}: {out:?}"
+        );
+    }
+    let s = inj.stats();
+    assert_eq!((s.crashes, s.shrinks), (2, 3));
+}
+
+#[test]
+fn shrink_of_shrink_renumbers_densely() {
+    // A second failure after a first shrink: the already-shrunk
+    // communicator shrinks again, and both renumberings stay dense and
+    // order-preserving.
+    let inj = Arc::new(FaultInjector::new(
+        FaultPlan::new(6).with_crash(1, 0).with_crash(3, 1),
+    ));
+    let out = World::new(5)
+        .with_fault_injector(Arc::clone(&inj))
+        .run(|c| {
+            if c.chaos_step().is_err() {
+                return None; // rank 1, first casualty
+            }
+            while c.is_alive(1) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let first = c.shrink().unwrap(); // {0, 2, 3, 4}
+            let first_rank = first.rank();
+            // Hold the second casualty until everyone has rebuilt: a
+            // death racing the first shrink would leave the members
+            // with different survivor lists (and communicator ids).
+            first.barrier().unwrap();
+            if c.chaos_step().is_err() {
+                return None; // rank 3, second casualty
+            }
+            while c.is_alive(3) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let second = first.shrink().unwrap(); // {0, 2, 4}
+            let worlds = second.allgather(c.rank()).unwrap();
+            Some((first_rank, second.rank(), second.size(), worlds))
+        });
+    assert_eq!(out[1], None);
+    assert_eq!(out[3], None);
+    // world 0 -> first 0 -> second 0; world 2 -> 1 -> 1; world 4 -> 3 -> 2.
+    assert_eq!(out[0], Some((0, 0, 3, vec![0, 2, 4])));
+    assert_eq!(out[2], Some((1, 1, 3, vec![0, 2, 4])));
+    assert_eq!(out[4], Some((3, 2, 3, vec![0, 2, 4])));
+    let s = inj.stats();
+    assert_eq!(s.crashes, 2);
+    assert_eq!(s.shrinks, 7, "four first-round + three second-round calls");
+}
