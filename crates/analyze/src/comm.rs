@@ -278,19 +278,7 @@ fn dfs(
 // Offline mode: analyze a pdc-trace JSONL export.
 // ----------------------------------------------------------------------
 
-/// Collective span names `pdc-mpc` emits (see `Comm::cspan` call sites).
-const COLLECTIVE_NAMES: &[&str] = &[
-    "barrier",
-    "bcast",
-    "scatter",
-    "gather",
-    "allgather",
-    "reduce",
-    "allreduce",
-    "scan",
-    "alltoall",
-    "reduce_scatter",
-];
+use crate::traceio::{self, LineKind};
 
 /// Analyze a `pdc-trace` JSONL export offline.
 ///
@@ -306,82 +294,51 @@ const COLLECTIVE_NAMES: &[&str] = &[
 /// cycles are only available online; that asymmetry is why
 /// `reproduce --analyze` runs the online analyzer.
 ///
-/// Lines stamped with a `pid` field (every export since pid stamping
-/// was added) let the analyzer tell those two shapes apart: when lines
-/// from two or more distinct OS processes appear, the stream is a
-/// *merged distributed run* — one world whose ranks each traced their
-/// own process — not sequential runs. Per-process `world_run` spans
-/// then all describe the same world, and cross-process timestamps are
-/// not comparable, so segmentation is disabled and the whole stream is
-/// analyzed as a single run.
+/// Parsing, pid-aware run segmentation (a merged multi-process stream
+/// is *one* distributed run, not sequential runs), and collective-name
+/// recognition are shared with `pdc-insight` via [`crate::traceio`].
 pub fn analyze_jsonl(jsonl: &str) -> Vec<Diagnostic> {
-    // Start timestamps of `world_run` spans: the run boundaries.
-    let mut run_starts: Vec<u64> = Vec::new();
-    // Distinct emitting processes seen in the stream.
-    let mut pids: BTreeSet<u64> = BTreeSet::new();
+    let lines = traceio::parse_jsonl(jsonl);
+
     // (ts_ns, src, dst, tag, +1 send / -1 recv)
     let mut p2p: Vec<(u64, usize, usize, Tag, i64)> = Vec::new();
     // (ts_ns, rank, name) so each rank's collectives sort into program
     // order — a rank is one thread, so its timestamps are monotone.
     let mut collectives: Vec<(u64, usize, String)> = Vec::new();
 
-    for line in jsonl.lines() {
-        let line = line.trim();
-        if line.is_empty() {
+    for line in &lines {
+        if !matches!(line.kind, LineKind::Span { .. }) || line.cat != "mpc" {
             continue;
         }
-        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
-            continue;
-        };
-        if let Some(pid) = v["pid"].as_u64() {
-            pids.insert(pid);
-        }
-        if v["kind"] != "span" || v["cat"] != "mpc" {
-            continue;
-        }
-        let name = v["name"].as_str().unwrap_or_default();
-        let Some(ts) = v["ts_ns"].as_u64() else {
-            continue;
-        };
-        let args = &v["args"];
-        let get = |key: &str| args[key].as_u64().map(|n| n as usize);
-        match name {
-            "world_run" => run_starts.push(ts),
+        match line.name.as_str() {
             "send" | "recv" => {
-                let (Some(src), Some(dst), Some(tag)) =
-                    (get("src"), get("dst"), args["tag"].as_i64())
-                else {
+                let (Some(src), Some(dst), Some(tag)) = (
+                    line.arg_u64("src"),
+                    line.arg_u64("dst"),
+                    line.arg_i64("tag"),
+                ) else {
                     continue;
                 };
                 let tag = tag as Tag;
                 if tag < 0 {
                     continue;
                 }
-                let delta = if name == "send" { 1 } else { -1 };
-                p2p.push((ts, src, dst, tag, delta));
+                let delta = if line.name == "send" { 1 } else { -1 };
+                p2p.push((line.ts_ns, src as usize, dst as usize, tag, delta));
             }
-            _ if COLLECTIVE_NAMES.contains(&name) => {
-                let Some(rank) = get("rank") else {
+            _ if line.is_collective() => {
+                let Some(rank) = line.arg_u64("rank") else {
                     continue;
                 };
-                collectives.push((ts, rank, name.to_owned()));
+                collectives.push((line.ts_ns, rank as usize, line.name.clone()));
             }
             _ => {}
         }
     }
 
-    // Map a timestamp to its run segment: the latest world_run that
-    // started at or before it. Everything before the first boundary
-    // (or a boundary-less trace) lands in segment 0. A merged
-    // multi-process trace is one distributed run: its world_run spans
-    // (one per rank process) are all the same world, so they must not
-    // partition the stream.
-    if pids.len() >= 2 {
-        run_starts.clear();
-    }
-    run_starts.sort_unstable();
+    let run_starts = traceio::run_boundaries(&lines);
     let multi_run = run_starts.len() > 1;
-    let segment_of = |ts: u64| run_starts.partition_point(|&s| s <= ts).saturating_sub(1);
+    let segment_of = |ts: u64| traceio::segment_of(&run_starts, ts);
     let run_label = |seg: usize| {
         if multi_run {
             format!("trace run {seg}")

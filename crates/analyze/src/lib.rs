@@ -25,6 +25,7 @@
 pub mod comm;
 pub mod lint;
 pub mod race;
+pub mod traceio;
 pub mod vc;
 
 use std::fmt;

@@ -1,0 +1,256 @@
+//! Shared reader for `pdc-trace` JSONL exports.
+//!
+//! Both offline consumers of trace streams — [`crate::comm`]'s
+//! communication analyses and `pdc-insight`'s critical-path / histogram
+//! analytics — need the same groundwork: parse one JSON object per
+//! line, skip junk, know which span names are collectives, tell a
+//! merged multi-process stream from sequential same-process runs, and
+//! find `World::run` boundaries. That groundwork lives here exactly
+//! once; the consumers differ only in what they *do* with the parsed
+//! lines.
+
+use std::collections::BTreeSet;
+
+/// Collective span names `pdc-mpc` emits (see `Comm::cspan` call
+/// sites). A rank entering one of these blocks until every rank in the
+/// communicator arrives — which is what makes them synchronization
+/// edges for both the mismatch analysis and the happens-before DAG.
+pub const COLLECTIVE_NAMES: &[&str] = &[
+    "barrier",
+    "bcast",
+    "scatter",
+    "gather",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "scan",
+    "alltoall",
+    "reduce_scatter",
+];
+
+/// What kind of measurement a parsed line carries — mirror of
+/// `pdc_trace::EventKind` plus the aggregated histogram lines the
+/// exporter's `hist_jsonl` emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineKind {
+    Span { dur_ns: u64 },
+    Instant,
+    Counter { delta: i64 },
+    Gauge { value: Option<f64> },
+    Hist(HistLine),
+}
+
+/// One pre-aggregated histogram line: sparse `(bucket index, count)`
+/// pairs in `pdc_trace::hist` indexing, mergeable by plain addition.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistLine {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// One parsed line of a `pdc-trace` JSONL export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLine {
+    pub kind: LineKind,
+    pub cat: String,
+    pub name: String,
+    /// Nanoseconds since the emitting process's trace epoch; a span's
+    /// *start*. Histogram lines carry no timestamp and report 0.
+    pub ts_ns: u64,
+    pub tid: u64,
+    /// Emitting OS pid, when the export stamped one.
+    pub pid: Option<u64>,
+    args: serde_json::Value,
+}
+
+impl TraceLine {
+    /// A `u64` argument by key.
+    pub fn arg_u64(&self, key: &str) -> Option<u64> {
+        self.args[key].as_u64()
+    }
+
+    /// An `i64` argument by key.
+    pub fn arg_i64(&self, key: &str) -> Option<i64> {
+        self.args[key].as_i64()
+    }
+
+    /// A string argument by key.
+    pub fn arg_str(&self, key: &str) -> Option<&str> {
+        self.args[key].as_str()
+    }
+
+    /// Span end (start + duration); `ts_ns` for everything else.
+    pub fn end_ns(&self) -> u64 {
+        match self.kind {
+            LineKind::Span { dur_ns } => self.ts_ns.saturating_add(dur_ns),
+            _ => self.ts_ns,
+        }
+    }
+
+    /// Is this an `mpc` collective-entry span?
+    pub fn is_collective(&self) -> bool {
+        matches!(self.kind, LineKind::Span { .. })
+            && self.cat == "mpc"
+            && COLLECTIVE_NAMES.contains(&self.name.as_str())
+    }
+}
+
+/// Parse a JSONL export, skipping blank and non-JSON lines (merged
+/// streams legitimately interleave other JSONL telemetry).
+pub fn parse_jsonl(jsonl: &str) -> Vec<TraceLine> {
+    let mut out = Vec::new();
+    for line in jsonl.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else {
+            continue;
+        };
+        let kind = match v["kind"].as_str() {
+            Some("span") => LineKind::Span {
+                dur_ns: v["dur_ns"].as_u64().unwrap_or(0),
+            },
+            Some("instant") => LineKind::Instant,
+            Some("counter") => LineKind::Counter {
+                delta: v["delta"].as_i64().unwrap_or(0),
+            },
+            Some("gauge") => LineKind::Gauge {
+                value: v["value"].as_f64(),
+            },
+            Some("hist") => LineKind::Hist(HistLine {
+                count: v["count"].as_u64().unwrap_or(0),
+                min: v["min"].as_u64().unwrap_or(0),
+                max: v["max"].as_u64().unwrap_or(0),
+                buckets: v["buckets"]
+                    .as_array()
+                    .map(|pairs| {
+                        pairs
+                            .iter()
+                            .filter_map(|p| Some((p[0].as_u64()? as usize, p[1].as_u64()?)))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            _ => continue,
+        };
+        let (Some(cat), Some(name)) = (v["cat"].as_str(), v["name"].as_str()) else {
+            continue;
+        };
+        out.push(TraceLine {
+            kind,
+            cat: cat.to_owned(),
+            name: name.to_owned(),
+            ts_ns: v["ts_ns"].as_u64().unwrap_or(0),
+            tid: v["tid"].as_u64().unwrap_or(0),
+            pid: v["pid"].as_u64(),
+            args: v["args"].clone(),
+        });
+    }
+    out
+}
+
+/// Distinct emitting pids stamped on the lines. Two or more means the
+/// stream is a *merged distributed run* — one world whose ranks each
+/// traced their own OS process — rather than sequential runs from one
+/// process.
+pub fn distinct_pids(lines: &[TraceLine]) -> BTreeSet<u64> {
+    lines.iter().filter_map(|l| l.pid).collect()
+}
+
+/// Sorted start timestamps of `World::run` boundaries, for segmenting
+/// sequential same-process runs. Empty for a merged multi-pid stream:
+/// its per-process `world_run` spans all describe the *same* world (and
+/// cross-process timestamps are not comparable), so they must not
+/// partition anything.
+pub fn run_boundaries(lines: &[TraceLine]) -> Vec<u64> {
+    if distinct_pids(lines).len() >= 2 {
+        return Vec::new();
+    }
+    let mut starts: Vec<u64> = lines
+        .iter()
+        .filter(|l| {
+            matches!(l.kind, LineKind::Span { .. }) && l.cat == "mpc" && l.name == "world_run"
+        })
+        .map(|l| l.ts_ns)
+        .collect();
+    starts.sort_unstable();
+    starts
+}
+
+/// The run segment a timestamp belongs to: index of the latest boundary
+/// at or before it; everything before the first boundary (or any
+/// timestamp in a boundary-less stream) is segment 0.
+pub fn segment_of(boundaries: &[u64], ts_ns: u64) -> usize {
+    boundaries
+        .partition_point(|&s| s <= ts_ns)
+        .saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_kinds_and_skips_junk() {
+        let jsonl = r#"
+{"kind":"span","cat":"mpc","name":"send","ts_ns":10,"tid":1,"pid":42,"dur_ns":5,"args":{"src":0,"dst":1,"tag":4}}
+{"kind":"counter","cat":"chaos","name":"drops","ts_ns":20,"tid":1,"delta":-2}
+{"kind":"gauge","cat":"mpc","name":"depth","ts_ns":30,"tid":2,"value":1.5}
+{"kind":"instant","cat":"net","name":"peer_dead","ts_ns":40,"tid":0,"args":{"rank":3}}
+{"kind":"hist","cat":"net","name":"rtt","pid":42,"count":3,"sum":30,"min":5,"max":20,"buckets":[[5,1],[18,2]]}
+not json at all
+{"kind":"mystery","cat":"x","name":"y"}
+"#;
+        let lines = parse_jsonl(jsonl);
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[0].kind, LineKind::Span { dur_ns: 5 });
+        assert_eq!(lines[0].arg_u64("dst"), Some(1));
+        assert_eq!(lines[0].end_ns(), 15);
+        assert_eq!(lines[1].kind, LineKind::Counter { delta: -2 });
+        assert_eq!(lines[2].kind, LineKind::Gauge { value: Some(1.5) });
+        assert_eq!(lines[3].kind, LineKind::Instant);
+        let LineKind::Hist(h) = &lines[4].kind else {
+            panic!("expected hist line");
+        };
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets, vec![(5, 1), (18, 2)]);
+        assert_eq!(distinct_pids(&lines), BTreeSet::from([42]));
+    }
+
+    #[test]
+    fn boundaries_segment_single_pid_streams_only() {
+        let single = r#"
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":0,"tid":0,"dur_ns":90}
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":100,"tid":0,"dur_ns":90}
+"#;
+        let lines = parse_jsonl(single);
+        let b = run_boundaries(&lines);
+        assert_eq!(b, vec![0, 100]);
+        assert_eq!(segment_of(&b, 50), 0);
+        assert_eq!(segment_of(&b, 100), 1);
+        assert_eq!(segment_of(&b, 0), 0);
+
+        let merged = r#"
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":0,"tid":0,"pid":100,"dur_ns":90}
+{"kind":"span","cat":"mpc","name":"world_run","ts_ns":5,"tid":0,"pid":200,"dur_ns":90}
+"#;
+        assert!(run_boundaries(&parse_jsonl(merged)).is_empty());
+        assert_eq!(segment_of(&[], 12345), 0);
+    }
+
+    #[test]
+    fn collective_recognition_is_span_and_mpc_scoped() {
+        let jsonl = r#"
+{"kind":"span","cat":"mpc","name":"bcast","ts_ns":1,"tid":1,"dur_ns":2,"args":{"rank":0}}
+{"kind":"span","cat":"shmem","name":"barrier_wait","ts_ns":1,"tid":1,"dur_ns":2}
+{"kind":"instant","cat":"mpc","name":"barrier","ts_ns":1,"tid":1}
+"#;
+        let lines = parse_jsonl(jsonl);
+        assert!(lines[0].is_collective());
+        assert!(!lines[1].is_collective());
+        assert!(!lines[2].is_collective());
+    }
+}

@@ -8,6 +8,7 @@
 //! reproduce --chaos 2020       # run the chaos study under seed 2020
 //! reproduce --analyze          # run the detector study (pdc-analyze)
 //! reproduce --net 2020         # run the wire study under seed 2020
+//! reproduce --insight          # run the insight study (pdc-insight)
 //! ```
 //!
 //! With `--trace <path>` the runtimes' tracer is enabled for the run:
@@ -45,6 +46,17 @@
 //! checkpoint restart). The deterministic report is written to
 //! `artifacts/BENCH_net.json`; the exit status is nonzero unless the
 //! kill happened, every fault recovered, and the values came out exact.
+//!
+//! With `--insight` the `pdc-insight` study runs: the deterministic
+//! virtual-time replay of the canonical Module A / Module B / wire
+//! workloads produces `artifacts/BENCH_insight.json` (critical-path
+//! breakdowns, cross-process p50/p90/p99 histograms, Karp–Flatt
+//! tables; byte-identical across runs), the Module A/B studies really
+//! run under tracing to feed the illustrative artifacts
+//! (`artifacts/insight_dashboard.html`, `artifacts/insight_flame.txt`),
+//! and the exit status is nonzero if the report fails its internal
+//! consistency gate. Gate two artifacts against each other with
+//! `pdc-insight diff`.
 
 use std::time::Instant;
 
@@ -56,6 +68,7 @@ struct Cli {
     chaos: Option<u64>,
     analyze: bool,
     net: Option<u64>,
+    insight: bool,
     id: Option<String>,
 }
 
@@ -66,6 +79,7 @@ fn parse_args() -> Cli {
         chaos: None,
         analyze: false,
         net: None,
+        insight: false,
         id: None,
     };
     let mut args = std::env::args().skip(1);
@@ -87,6 +101,7 @@ fn parse_args() -> Cli {
                 }
             },
             "--analyze" => cli.analyze = true,
+            "--insight" => cli.insight = true,
             "--net" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
                 Some(seed) => cli.net = Some(seed),
                 None => {
@@ -181,6 +196,70 @@ fn main() {
         net_failed = !report.passed();
     }
 
+    let mut insight_failed = false;
+    if cli.insight {
+        let start = Instant::now();
+        let report = pdc_core::insight::insight_report();
+        timings.push(("insight-study".to_owned(), start.elapsed().as_secs_f64()));
+        println!("{}", report.render());
+        std::fs::create_dir_all("artifacts")
+            .and_then(|()| std::fs::write("artifacts/BENCH_insight.json", report.to_json()))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write artifacts/BENCH_insight.json: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote artifacts/BENCH_insight.json");
+        insight_failed = !report.passed();
+
+        // Illustrative artifacts: really run the Module A/B studies
+        // under tracing (skipped under an outer --trace, whose stream
+        // must stay whole) and pair the measured timeline with the
+        // model-replay timelines the artifact was derived from.
+        let measured = if pdc_trace::is_enabled() {
+            None
+        } else {
+            pdc_trace::reset();
+            pdc_trace::enable();
+            let _ = pdc_core::study::module_a_study(pdc_core::study::Scale::Quick);
+            let _ = pdc_core::study::module_b_study(pdc_core::study::Scale::Quick);
+            pdc_trace::disable();
+            let events = pdc_trace::drain();
+            let mut jsonl = pdc_trace::export::jsonl(&events);
+            jsonl.push_str(&pdc_trace::export::hist_jsonl(
+                &pdc_trace::drain_histograms(),
+            ));
+            Some(jsonl)
+        };
+        let mut timelines = Vec::new();
+        if let Some(jsonl) = &measured {
+            timelines.push((
+                "module A+B (measured on this host)".to_owned(),
+                pdc_analyze::traceio::parse_jsonl(jsonl),
+            ));
+        }
+        for (label, jsonl) in pdc_core::insight::synthetic_traces() {
+            timelines.push((
+                format!("{label} (model replay)"),
+                pdc_analyze::traceio::parse_jsonl(&jsonl),
+            ));
+        }
+        let html = pdc_insight::dashboard::render(&report, &timelines);
+        let flame_input = measured.unwrap_or_else(|| {
+            pdc_core::insight::synthetic_traces()
+                .into_iter()
+                .map(|(_, jsonl)| jsonl)
+                .collect()
+        });
+        let flame = pdc_insight::collapsed_stacks(&pdc_analyze::traceio::parse_jsonl(&flame_input));
+        std::fs::write("artifacts/insight_dashboard.html", html)
+            .and_then(|()| std::fs::write("artifacts/insight_flame.txt", flame))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write insight dashboard/flamegraph: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote artifacts/insight_dashboard.html, artifacts/insight_flame.txt");
+    }
+
     let mut analyze_failed = false;
     let mut analysis_report: Option<pdc_core::analysis::AnalysisReport> = None;
     if cli.analyze {
@@ -199,7 +278,7 @@ fn main() {
         analysis_report = Some(report);
     }
 
-    if cli.chaos.is_none() && !cli.analyze && cli.net.is_none() {
+    if cli.chaos.is_none() && !cli.analyze && cli.net.is_none() && !cli.insight {
         match cli.id.as_deref() {
             Some(id) => {
                 let Some(exp) = experiments::all().into_iter().find(|e| e.id == id) else {
@@ -266,6 +345,10 @@ fn main() {
     }
     if net_failed {
         eprintln!("wire study: failed (see artifacts/BENCH_net.json)");
+        std::process::exit(1);
+    }
+    if insight_failed {
+        eprintln!("insight study: inconsistent report (see artifacts/BENCH_insight.json)");
         std::process::exit(1);
     }
 }

@@ -23,6 +23,9 @@
 //! * [`netstudy`] — the wire study: Module B's patternlets and a
 //!   recoverable exemplar over real TCP rank processes, surviving a
 //!   real process kill (`reproduce --net <seed>`).
+//! * [`insight`] — the insight study: deterministic critical-path,
+//!   percentile-histogram, and Karp–Flatt artifacts from a virtual-time
+//!   replay of the canonical workloads (`reproduce --insight`).
 //!
 //! ```no_run
 //! // Regenerate the paper's Figure 2 (Colab SPMD cell + its output):
@@ -34,6 +37,7 @@ pub mod chaos;
 pub mod economics;
 pub mod experiments;
 pub mod injection;
+pub mod insight;
 pub mod module_a;
 pub mod module_b;
 pub mod netstudy;

@@ -153,11 +153,16 @@ pub fn net_worker(seed: u64, scale: Scale) -> Result<(), String> {
     let summaries = netsuite::run_suite(&comm)?;
     pdc_trace::disable();
     let events = pdc_trace::drain();
-    std::fs::write(
-        dir.join(format!("trace_rank{rank}.jsonl")),
-        pdc_trace::export::jsonl(&events),
-    )
-    .map_err(|e| format!("trace export failed: {e}"))?;
+    // Events first, then this process's pre-aggregated histograms
+    // (frame RTTs, mailbox depths, heartbeat gaps): the driver's merged
+    // stream folds same-keyed hist lines from every rank by plain
+    // bucket addition, giving cross-process percentiles.
+    let mut export = pdc_trace::export::jsonl(&events);
+    export.push_str(&pdc_trace::export::hist_jsonl(
+        &pdc_trace::drain_histograms(),
+    ));
+    std::fs::write(dir.join(format!("trace_rank{rank}.jsonl")), export)
+        .map_err(|e| format!("trace export failed: {e}"))?;
     if rank == 0 {
         let body = serde_json::to_string(&summaries).expect("summaries serialize");
         std::fs::write(dir.join("patternlets.json"), body)

@@ -1,0 +1,221 @@
+//! `pdc-insight` — offline trace analytics at the shell.
+//!
+//! ```text
+//! pdc-insight analyze  TRACE.jsonl...            critical path + histograms
+//! pdc-insight flame    TRACE.jsonl... [-o FILE]  collapsed-stack flamegraph text
+//! pdc-insight dashboard REPORT.json [TRACE...] -o FILE
+//!                                                self-contained HTML dashboard
+//! pdc-insight diff     BASE.json CAND.json [--wall-pct N] [--category-pct N]
+//!                      [--p99-pct N] [--speedup-pct N] [--floor-ms N]
+//!                                                perf gate: nonzero on regression
+//! ```
+//!
+//! Multiple trace files are merged before analysis (the per-rank files
+//! a distributed study writes are one logical trace). Argument parsing
+//! is by hand, like `reproduce` — the workspace takes no CLI deps.
+
+use std::process::ExitCode;
+
+use pdc_analyze::traceio::{parse_jsonl, TraceLine};
+use pdc_insight::report::hist_summaries;
+use pdc_insight::{
+    collapsed_stacks, critical_path, dashboard, diff_reports, HistogramSet, InsightReport,
+    Thresholds,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pdc-insight analyze TRACE.jsonl...\n\
+         \x20      pdc-insight flame TRACE.jsonl... [-o FILE]\n\
+         \x20      pdc-insight dashboard REPORT.json [TRACE.jsonl...] -o FILE\n\
+         \x20      pdc-insight diff BASE.json CAND.json [--wall-pct N] [--category-pct N]\n\
+         \x20                       [--p99-pct N] [--speedup-pct N] [--floor-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pdc-insight: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse and merge trace files into one line stream.
+fn load_traces(paths: &[String]) -> Vec<TraceLine> {
+    let mut lines = Vec::new();
+    for p in paths {
+        lines.extend(parse_jsonl(&read(p)));
+    }
+    lines
+}
+
+fn pct_arg(args: &mut std::vec::IntoIter<String>, flag: &str) -> f64 {
+    match args.next().and_then(|v| v.parse::<f64>().ok()) {
+        Some(v) if v >= 0.0 => v / 100.0,
+        _ => {
+            eprintln!("pdc-insight: {flag} needs a non-negative percent");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_analyze(traces: Vec<String>) -> ExitCode {
+    if traces.is_empty() {
+        usage();
+    }
+    let lines = load_traces(&traces);
+    match critical_path(&lines) {
+        Some(cp) => {
+            println!(
+                "critical path: {:.3} ms over {} steps across {} lanes",
+                cp.wall_ns as f64 / 1e6,
+                cp.steps.len(),
+                cp.lanes.len()
+            );
+            let b = cp.breakdown;
+            for (label, ns) in [
+                ("compute", b.compute_ns),
+                ("barrier", b.barrier_ns),
+                ("lock", b.lock_ns),
+                ("wire", b.wire_ns),
+                ("idle", b.idle_ns),
+            ] {
+                if ns > 0 {
+                    println!(
+                        "  {label:<8} {:>12.3} ms  ({:>5.1}%)",
+                        ns as f64 / 1e6,
+                        100.0 * ns as f64 / cp.wall_ns as f64
+                    );
+                }
+            }
+        }
+        None => println!("no spans in trace — nothing to analyze"),
+    }
+    let hists = HistogramSet::from_lines(&lines);
+    for h in hist_summaries(&hists) {
+        println!(
+            "hist {}/{:<16} n={:<7} p50={}ns p90={}ns p99={}ns max={}ns",
+            h.cat, h.name, h.count, h.p50_ns, h.p90_ns, h.p99_ns, h.max_ns
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_flame(mut rest: Vec<String>) -> ExitCode {
+    let mut out_path = None;
+    if let Some(pos) = rest.iter().position(|a| a == "-o") {
+        if pos + 1 >= rest.len() {
+            usage();
+        }
+        out_path = Some(rest.remove(pos + 1));
+        rest.remove(pos);
+    }
+    if rest.is_empty() {
+        usage();
+    }
+    let text = collapsed_stacks(&load_traces(&rest));
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &text) {
+                eprintln!("pdc-insight: cannot write {p}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("wrote {} stacks to {p}", text.lines().count());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_dashboard(mut rest: Vec<String>) -> ExitCode {
+    let Some(pos) = rest.iter().position(|a| a == "-o") else {
+        usage();
+    };
+    if pos + 1 >= rest.len() {
+        usage();
+    }
+    let out_path = rest.remove(pos + 1);
+    rest.remove(pos);
+    if rest.is_empty() {
+        usage();
+    }
+    let report = match InsightReport::from_json(&read(&rest[0])) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pdc-insight: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let traces: Vec<(String, Vec<TraceLine>)> = rest[1..]
+        .iter()
+        .map(|p| {
+            let label = std::path::Path::new(p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone());
+            (label, parse_jsonl(&read(p)))
+        })
+        .collect();
+    let html = dashboard::render(&report, &traces);
+    if let Err(e) = std::fs::write(&out_path, &html) {
+        eprintln!("pdc-insight: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote dashboard to {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(rest: Vec<String>) -> ExitCode {
+    let mut t = Thresholds::default();
+    let mut paths = Vec::new();
+    let mut args = rest.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--wall-pct" => t.wall_frac = pct_arg(&mut args, "--wall-pct"),
+            "--category-pct" => t.category_frac = pct_arg(&mut args, "--category-pct"),
+            "--p99-pct" => t.p99_frac = pct_arg(&mut args, "--p99-pct"),
+            "--speedup-pct" => t.speedup_frac = pct_arg(&mut args, "--speedup-pct"),
+            "--floor-ms" => {
+                t.floor_ns = (pct_arg(&mut args, "--floor-ms") * 100.0 * 1e6) as u64;
+            }
+            _ if a.starts_with('-') => usage(),
+            _ => paths.push(a),
+        }
+    }
+    let [base_path, cand_path] = paths.as_slice() else {
+        usage();
+    };
+    let load = |p: &str| match InsightReport::from_json(&read(p)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pdc-insight: {p}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let d = diff_reports(&load(base_path), &load(cand_path), t);
+    print!("{}", d.render());
+    if d.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(args),
+        "flame" => cmd_flame(args),
+        "dashboard" => cmd_dashboard(args),
+        "diff" => cmd_diff(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,555 @@
+//! The cross-rank happens-before DAG and its critical path.
+//!
+//! A trace is a set of *lanes* — one per `(pid, tid)` — each holding
+//! nested spans. Three kinds of cross-lane edges make the lanes a DAG:
+//!
+//! * **send → recv**: a `recv` span cannot end before its matched
+//!   `send` span ended. Matching is by `(src, dst, tag)` in program
+//!   order (k-th send to k-th recv), the non-overtaking guarantee both
+//!   fabrics provide.
+//! * **collective**: a collective-entry span (`mpc` collectives,
+//!   `shmem` `barrier_wait`) cannot release before the *last* overlapping
+//!   participant arrives — every participant's release depends on the
+//!   latest arrival.
+//! * **program order**: within a lane, everything depends on what the
+//!   lane did before.
+//!
+//! The **critical path** is extracted by walking backward from the
+//! globally last span end: at each point the walk asks "what was this
+//! lane waiting on?", follows the corresponding edge, and attributes
+//! the consumed interval to one of four categories — [`Category::Compute`]
+//! (the lane was doing work), [`Category::Barrier`] (waiting at a
+//! barrier/collective), [`Category::Lock`] (waiting for a mutual-
+//! exclusion lock), [`Category::Wire`] (message transfer). Intervals
+//! covered by no span at all are [`Category::Idle`] — untraced time.
+//! The per-category sums answer the instructor question the dashboard
+//! is built around: *where did my speedup go?*
+
+use std::collections::BTreeMap;
+
+use pdc_analyze::traceio::{LineKind, TraceLine, COLLECTIVE_NAMES};
+use serde::Serialize;
+
+/// What an interval on the critical path was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Category {
+    /// The lane was executing (any span not classified below).
+    Compute,
+    /// Waiting at a barrier or collective for the last arrival.
+    Barrier,
+    /// Waiting for a mutual-exclusion lock.
+    Lock,
+    /// Message transfer: send/recv spans and everything in `net`.
+    Wire,
+    /// No span covered the interval — untraced time.
+    Idle,
+}
+
+impl Category {
+    /// Classify a span by `(category, name)`.
+    pub fn of(cat: &str, name: &str) -> Category {
+        match (cat, name) {
+            ("shmem", "barrier_wait") => Category::Barrier,
+            ("shmem", "lock_wait") | ("shmem", "critical") => Category::Lock,
+            ("mpc", "send") | ("mpc", "recv") | ("mpc", "ssend") => Category::Wire,
+            ("mpc", name) if COLLECTIVE_NAMES.contains(&name) => Category::Barrier,
+            ("net", _) => Category::Wire,
+            _ => Category::Compute,
+        }
+    }
+
+    /// Stable lower-case label (JSON field names, flamegraph frames).
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Compute => "compute",
+            Category::Barrier => "barrier",
+            Category::Lock => "lock",
+            Category::Wire => "wire",
+            Category::Idle => "idle",
+        }
+    }
+}
+
+/// One execution lane: a thread of one process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Lane {
+    pub pid: Option<u64>,
+    pub tid: u64,
+}
+
+/// One step of the critical path, chronological.
+#[derive(Debug, Clone, Serialize)]
+pub struct PathStep {
+    /// Index into [`CriticalPath::lanes`].
+    pub lane: usize,
+    /// Span name the interval was inside (`"-"` for idle gaps).
+    pub name: String,
+    pub category: Category,
+    pub start_ns: u64,
+    pub end_ns: u64,
+}
+
+/// Per-category wall-time attribution, summing to `total_ns`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Breakdown {
+    pub compute_ns: u64,
+    pub barrier_ns: u64,
+    pub lock_ns: u64,
+    pub wire_ns: u64,
+    pub idle_ns: u64,
+}
+
+impl Breakdown {
+    fn add(&mut self, category: Category, ns: u64) {
+        match category {
+            Category::Compute => self.compute_ns += ns,
+            Category::Barrier => self.barrier_ns += ns,
+            Category::Lock => self.lock_ns += ns,
+            Category::Wire => self.wire_ns += ns,
+            Category::Idle => self.idle_ns += ns,
+        }
+    }
+
+    /// Sum over all categories.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns + self.barrier_ns + self.lock_ns + self.wire_ns + self.idle_ns
+    }
+}
+
+/// The extracted critical path of one trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct CriticalPath {
+    /// Wall interval the path spans: global first span start to global
+    /// last span end.
+    pub wall_ns: u64,
+    pub breakdown: Breakdown,
+    pub lanes: Vec<Lane>,
+    /// Chronological steps; contiguous in time, `steps` sum to
+    /// `breakdown` exactly.
+    pub steps: Vec<PathStep>,
+}
+
+/// One recorded span, flattened out of a [`TraceLine`].
+#[derive(Debug, Clone)]
+struct SpanRec {
+    lane: usize,
+    name: String,
+    cat: String,
+    start: u64,
+    end: u64,
+    /// `(src, dst, tag)` for send/recv matching.
+    channel: Option<(u64, u64, i64)>,
+}
+
+/// A leaf interval: the innermost span covering `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    span: usize,
+    start: u64,
+    end: u64,
+}
+
+/// Extract the critical path from parsed trace lines. Returns `None`
+/// when the trace holds no spans at all.
+pub fn critical_path(lines: &[TraceLine]) -> Option<CriticalPath> {
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut lane_of: BTreeMap<(Option<u64>, u64), usize> = BTreeMap::new();
+    let mut spans: Vec<SpanRec> = Vec::new();
+
+    for line in lines {
+        let LineKind::Span { dur_ns } = line.kind else {
+            continue;
+        };
+        let key = (line.pid, line.tid);
+        let lane = *lane_of.entry(key).or_insert_with(|| {
+            lanes.push(Lane {
+                pid: key.0,
+                tid: key.1,
+            });
+            lanes.len() - 1
+        });
+        let channel = match line.name.as_str() {
+            "send" | "recv" if line.cat == "mpc" => {
+                match (
+                    line.arg_u64("src"),
+                    line.arg_u64("dst"),
+                    line.arg_i64("tag"),
+                ) {
+                    (Some(src), Some(dst), Some(tag)) => Some((src, dst, tag)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        spans.push(SpanRec {
+            lane,
+            name: line.name.clone(),
+            cat: line.cat.clone(),
+            start: line.ts_ns,
+            end: line.ts_ns.saturating_add(dur_ns),
+            channel,
+        });
+    }
+    if spans.is_empty() {
+        return None;
+    }
+
+    // send -> recv matching: k-th send on a channel pairs with the k-th
+    // recv, in start order (non-overtaking delivery).
+    let mut sends: BTreeMap<(u64, u64, i64), Vec<usize>> = BTreeMap::new();
+    let mut recvs: BTreeMap<(u64, u64, i64), Vec<usize>> = BTreeMap::new();
+    let mut by_start: Vec<usize> = (0..spans.len()).collect();
+    by_start.sort_by_key(|&i| (spans[i].start, spans[i].end));
+    for &i in &by_start {
+        if let Some(key) = spans[i].channel {
+            match spans[i].name.as_str() {
+                "send" => sends.entry(key).or_default().push(i),
+                "recv" => recvs.entry(key).or_default().push(i),
+                _ => {}
+            }
+        }
+    }
+    // recv span index -> matched send span index
+    let mut send_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for (key, rs) in &recvs {
+        if let Some(ss) = sends.get(key) {
+            for (r, s) in rs.iter().zip(ss) {
+                send_of.insert(*r, *s);
+            }
+        }
+    }
+
+    // Collective instances: spans of the same collective name whose
+    // intervals mutually overlap are one rendezvous; the instance
+    // releases when its last participant arrives. For each collective
+    // span, record that release time and the last-arriving span.
+    let mut release_of: BTreeMap<usize, (u64, usize)> = BTreeMap::new();
+    {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for &i in &by_start {
+            let s = &spans[i];
+            if Category::of(&s.cat, &s.name) == Category::Barrier {
+                by_name.entry(s.name.as_str()).or_default().push(i);
+            }
+        }
+        for (_, idxs) in by_name {
+            // Sweep in start order, grouping while intervals overlap the
+            // instance's common window.
+            let mut group: Vec<usize> = Vec::new();
+            let mut window_end = 0u64;
+            let flush = |group: &mut Vec<usize>, out: &mut BTreeMap<usize, (u64, usize)>| {
+                if group.is_empty() {
+                    return;
+                }
+                let last = *group
+                    .iter()
+                    .max_by_key(|&&i| (spans[i].start, i))
+                    .expect("non-empty group");
+                for &i in group.iter() {
+                    out.insert(i, (spans[last].start, last));
+                }
+                group.clear();
+            };
+            for i in idxs {
+                if !group.is_empty() && spans[i].start >= window_end {
+                    flush(&mut group, &mut release_of);
+                }
+                window_end = if group.is_empty() {
+                    spans[i].end
+                } else {
+                    window_end.min(spans[i].end)
+                };
+                group.push(i);
+            }
+            flush(&mut group, &mut release_of);
+        }
+    }
+
+    // Flatten each lane's nested spans into leaf segments: the
+    // innermost span owns each instant.
+    let mut per_lane: Vec<Vec<usize>> = vec![Vec::new(); lanes.len()];
+    for &i in &by_start {
+        per_lane[spans[i].lane].push(i);
+    }
+    let mut lane_segs: Vec<Vec<Seg>> = Vec::with_capacity(lanes.len());
+    for lane_spans in &per_lane {
+        lane_segs.push(leaf_segments(&spans, lane_spans));
+    }
+
+    let wall_start = spans.iter().map(|s| s.start).min().expect("spans nonempty");
+    let wall_end = spans.iter().map(|s| s.end).max().expect("spans nonempty");
+
+    // Backward walk from the lane holding the global end.
+    let mut lane = spans
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, s)| (s.end, *i))
+        .map(|(_, s)| s.lane)
+        .expect("spans nonempty");
+    let mut cursor = wall_end;
+    let mut breakdown = Breakdown::default();
+    let mut steps_rev: Vec<PathStep> = Vec::new();
+    let step = |lane: usize,
+                name: &str,
+                category: Category,
+                start: u64,
+                end: u64,
+                breakdown: &mut Breakdown,
+                steps_rev: &mut Vec<PathStep>| {
+        if end > start {
+            breakdown.add(category, end - start);
+            steps_rev.push(PathStep {
+                lane,
+                name: name.to_owned(),
+                category,
+                start_ns: start,
+                end_ns: end,
+            });
+        }
+    };
+
+    while cursor > wall_start {
+        let segs = &lane_segs[lane];
+        // Latest segment starting strictly before the cursor.
+        let idx = segs.partition_point(|s| s.start < cursor);
+        if idx == 0 {
+            // Nothing earlier on this lane: the remainder is idle.
+            step(
+                lane,
+                "-",
+                Category::Idle,
+                wall_start,
+                cursor,
+                &mut breakdown,
+                &mut steps_rev,
+            );
+            break;
+        }
+        let seg = segs[idx - 1];
+        if seg.end < cursor {
+            // Gap between spans on this lane.
+            step(
+                lane,
+                "-",
+                Category::Idle,
+                seg.end,
+                cursor,
+                &mut breakdown,
+                &mut steps_rev,
+            );
+            cursor = seg.end;
+            continue;
+        }
+        let sp = &spans[seg.span];
+        let category = Category::of(&sp.cat, &sp.name);
+
+        // recv: the wait ends when the matched send's data arrived.
+        if sp.name == "recv" && sp.cat == "mpc" {
+            if let Some(&send_idx) = send_of.get(&seg.span) {
+                let send = &spans[send_idx];
+                if send.end < cursor {
+                    let from = seg.start.max(send.end.min(cursor));
+                    step(
+                        lane,
+                        &sp.name,
+                        Category::Wire,
+                        from,
+                        cursor,
+                        &mut breakdown,
+                        &mut steps_rev,
+                    );
+                    if send.end >= seg.start && send.lane != lane {
+                        lane = send.lane;
+                        cursor = send.end;
+                    } else {
+                        cursor = from;
+                    }
+                    continue;
+                }
+            }
+        }
+
+        // Barrier/collective: the wait ends at the last arrival.
+        if category == Category::Barrier {
+            if let Some(&(release, last)) = release_of.get(&seg.span) {
+                let release = release.min(cursor);
+                if release > seg.start && spans[last].lane != lane {
+                    step(
+                        lane,
+                        &sp.name,
+                        Category::Barrier,
+                        release,
+                        cursor,
+                        &mut breakdown,
+                        &mut steps_rev,
+                    );
+                    lane = spans[last].lane;
+                    cursor = release;
+                    continue;
+                }
+            }
+        }
+
+        // Default: consume the covered interval on this lane.
+        step(
+            lane,
+            &sp.name,
+            category,
+            seg.start,
+            cursor,
+            &mut breakdown,
+            &mut steps_rev,
+        );
+        cursor = seg.start;
+    }
+
+    steps_rev.reverse();
+    Some(CriticalPath {
+        wall_ns: wall_end - wall_start,
+        breakdown,
+        lanes,
+        steps: steps_rev,
+    })
+}
+
+/// Flatten one lane's nested spans (sorted by start) into leaf
+/// segments: each instant belongs to the innermost span covering it.
+/// Assumes proper nesting within a lane (RAII spans guarantee it).
+fn leaf_segments(spans: &[SpanRec], lane_spans: &[usize]) -> Vec<Seg> {
+    let mut out: Vec<Seg> = Vec::new();
+    // (span index, emit watermark)
+    let mut stack: Vec<(usize, u64)> = Vec::new();
+    let emit = |span: usize, start: u64, end: u64, out: &mut Vec<Seg>| {
+        if end > start {
+            out.push(Seg { span, start, end });
+        }
+    };
+    for &i in lane_spans {
+        // Close spans that ended before this one starts.
+        while let Some(&(top, mark)) = stack.last() {
+            if spans[top].end <= spans[i].start {
+                emit(top, mark, spans[top].end, &mut out);
+                stack.pop();
+                if let Some(parent) = stack.last_mut() {
+                    parent.1 = spans[top].end;
+                }
+            } else {
+                break;
+            }
+        }
+        // The parent owns the run-up to this child.
+        if let Some(&mut (top, ref mut mark)) = stack.last_mut() {
+            emit(top, *mark, spans[i].start, &mut out);
+            *mark = spans[i].start;
+        }
+        stack.push((i, spans[i].start));
+    }
+    while let Some((top, mark)) = stack.pop() {
+        emit(top, mark, spans[top].end, &mut out);
+        if let Some(parent) = stack.last_mut() {
+            parent.1 = spans[top].end;
+        }
+    }
+    out.sort_by_key(|s| s.start);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_analyze::traceio::parse_jsonl;
+
+    #[test]
+    fn single_lane_is_all_compute() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"work","ts_ns":0,"tid":1,"dur_ns":100}
+{"kind":"span","cat":"app","name":"more","ts_ns":100,"tid":1,"dur_ns":50}
+"#;
+        let cp = critical_path(&parse_jsonl(jsonl)).unwrap();
+        assert_eq!(cp.wall_ns, 150);
+        assert_eq!(cp.breakdown.compute_ns, 150);
+        assert_eq!(cp.breakdown.total_ns(), cp.wall_ns);
+        assert_eq!(cp.steps.len(), 2);
+    }
+
+    #[test]
+    fn nested_spans_attribute_to_innermost() {
+        // outer [0,100) with an inner barrier_wait [40,60): the leaf
+        // sweep must carve outer into [0,40) + [60,100) compute and the
+        // middle into barrier.
+        let jsonl = r#"
+{"kind":"span","cat":"shmem","name":"parallel","ts_ns":0,"tid":1,"dur_ns":100}
+{"kind":"span","cat":"shmem","name":"barrier_wait","ts_ns":40,"tid":1,"dur_ns":20}
+"#;
+        let cp = critical_path(&parse_jsonl(jsonl)).unwrap();
+        assert_eq!(cp.breakdown.compute_ns, 80);
+        assert_eq!(cp.breakdown.barrier_ns, 20);
+        assert_eq!(cp.breakdown.total_ns(), 100);
+    }
+
+    #[test]
+    fn gap_between_spans_is_idle() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"a","ts_ns":0,"tid":1,"dur_ns":10}
+{"kind":"span","cat":"app","name":"b","ts_ns":30,"tid":1,"dur_ns":10}
+"#;
+        let cp = critical_path(&parse_jsonl(jsonl)).unwrap();
+        assert_eq!(cp.breakdown.idle_ns, 20);
+        assert_eq!(cp.breakdown.compute_ns, 20);
+    }
+
+    #[test]
+    fn recv_follows_send_edge_across_lanes() {
+        // Lane 1 computes 0..100 then sends (send span 100..110).
+        // Lane 2 posts recv at 10, blocked until the send lands (recv
+        // span 10..115), then finishes with compute 115..150.
+        // Critical path: compute 100 (lane 1) + send 10 + wire 5 +
+        // compute 35 (lane 2) = 150 = wall.
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"produce","ts_ns":0,"tid":1,"dur_ns":100}
+{"kind":"span","cat":"mpc","name":"send","ts_ns":100,"tid":1,"dur_ns":10,"args":{"src":0,"dst":1,"tag":7}}
+{"kind":"span","cat":"mpc","name":"recv","ts_ns":10,"tid":2,"dur_ns":105,"args":{"src":0,"dst":1,"tag":7}}
+{"kind":"span","cat":"app","name":"consume","ts_ns":115,"tid":2,"dur_ns":35}
+"#;
+        let cp = critical_path(&parse_jsonl(jsonl)).unwrap();
+        assert_eq!(cp.wall_ns, 150);
+        assert_eq!(cp.breakdown.total_ns(), 150);
+        assert_eq!(cp.breakdown.compute_ns, 135);
+        assert_eq!(cp.breakdown.wire_ns, 15);
+        assert_eq!(cp.breakdown.idle_ns, 0);
+        // The path changes lanes exactly once, at the send edge.
+        let lanes_on_path: Vec<usize> = cp.steps.iter().map(|s| s.lane).collect();
+        let first = lanes_on_path[0];
+        let last = *lanes_on_path.last().unwrap();
+        assert_ne!(first, last, "path must cross the send->recv edge");
+    }
+
+    #[test]
+    fn barrier_waits_for_last_arrival() {
+        // Three lanes enter a barrier; lane 3 arrives last at t=80.
+        // Lanes 1/2 wait from 20/40 until 80; all release at 90.
+        // Path: lane3 compute 0..80, barrier 80..90 — the early
+        // arrivers' waits are NOT on the critical path.
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"w1","ts_ns":0,"tid":1,"dur_ns":20}
+{"kind":"span","cat":"shmem","name":"barrier_wait","ts_ns":20,"tid":1,"dur_ns":70}
+{"kind":"span","cat":"app","name":"w2","ts_ns":0,"tid":2,"dur_ns":40}
+{"kind":"span","cat":"shmem","name":"barrier_wait","ts_ns":40,"tid":2,"dur_ns":50}
+{"kind":"span","cat":"app","name":"w3","ts_ns":0,"tid":3,"dur_ns":80}
+{"kind":"span","cat":"shmem","name":"barrier_wait","ts_ns":80,"tid":3,"dur_ns":10}
+"#;
+        let cp = critical_path(&parse_jsonl(jsonl)).unwrap();
+        assert_eq!(cp.wall_ns, 90);
+        assert_eq!(cp.breakdown.total_ns(), 90);
+        assert_eq!(cp.breakdown.compute_ns, 80);
+        assert_eq!(cp.breakdown.barrier_ns, 10);
+    }
+
+    #[test]
+    fn empty_trace_has_no_path() {
+        assert!(critical_path(&[]).is_none());
+        let only_counters =
+            parse_jsonl(r#"{"kind":"counter","cat":"x","name":"c","ts_ns":5,"tid":1,"delta":1}"#);
+        assert!(critical_path(&only_counters).is_none());
+    }
+}

@@ -1,0 +1,367 @@
+//! The self-contained instructor dashboard.
+//!
+//! One HTML file, no external assets, openable from a course LMS or a
+//! CI artifact tab: per-study critical-path bars, scaling tables
+//! (speedup / efficiency / Karp–Flatt), histogram percentiles, and —
+//! when raw traces are supplied — per-rank SVG timelines with injected
+//! faults overlaid as markers on the traffic they perturbed.
+//!
+//! Rendering is deterministic for given inputs: lanes sort by
+//! `(pid, tid)`, colors are a fixed category palette, floats go through
+//! fixed-precision formatting.
+
+use std::fmt::Write as _;
+
+use pdc_analyze::traceio::{LineKind, TraceLine};
+
+use crate::dag::Category;
+use crate::report::InsightReport;
+
+/// Cap on rects per timeline; beyond it the densest spans are dropped
+/// (shortest first) and the drop is noted in the legend.
+const MAX_RECTS: usize = 1500;
+
+/// Fixed category palette (also the critical-path bar colors).
+fn color(cat: Category) -> &'static str {
+    match cat {
+        Category::Compute => "#4c9f70",
+        Category::Barrier => "#e0a63e",
+        Category::Lock => "#c0504d",
+        Category::Wire => "#4f81bd",
+        Category::Idle => "#b8b8b8",
+    }
+}
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render the dashboard. `traces` pairs a label (study name) with its
+/// parsed merged trace; pass `&[]` to skip the timeline sections.
+pub fn render(report: &InsightReport, traces: &[(String, Vec<TraceLine>)]) -> String {
+    let mut h = String::with_capacity(32 * 1024);
+    h.push_str(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>pdc-insight dashboard</title>\n<style>\n\
+         body{font:14px/1.45 system-ui,sans-serif;margin:2rem auto;max-width:70rem;color:#222}\n\
+         h1{font-size:1.5rem} h2{font-size:1.2rem;margin-top:2rem;border-bottom:1px solid #ddd}\n\
+         table{border-collapse:collapse;margin:.6rem 0} td,th{border:1px solid #ccc;padding:.25rem .6rem;text-align:right}\n\
+         th{background:#f3f3f3} td:first-child,th:first-child{text-align:left}\n\
+         .bar{display:flex;height:1.4rem;border:1px solid #999;max-width:44rem;margin:.4rem 0}\n\
+         .bar div{height:100%} .legend span{display:inline-block;margin-right:1rem}\n\
+         .legend i{display:inline-block;width:.8rem;height:.8rem;margin-right:.3rem;vertical-align:-1px}\n\
+         svg{border:1px solid #ccc;background:#fafafa} .note{color:#777;font-size:.85rem}\n\
+         </style></head><body>\n<h1>pdc-insight — where did my speedup go?</h1>\n",
+    );
+
+    // Legend once, up top.
+    h.push_str("<p class=\"legend\">");
+    for cat in [
+        Category::Compute,
+        Category::Barrier,
+        Category::Lock,
+        Category::Wire,
+        Category::Idle,
+    ] {
+        let _ = write!(
+            h,
+            "<span><i style=\"background:{}\"></i>{}</span>",
+            color(cat),
+            cat.label()
+        );
+    }
+    h.push_str(
+        "<span><i style=\"background:#d4343a;border-radius:50%\"></i>injected fault</span></p>\n",
+    );
+
+    for s in &report.studies {
+        h.push_str("<h2>");
+        esc(&s.study, &mut h);
+        h.push_str("</h2>\n");
+
+        // Critical-path attribution bar.
+        let _ = write!(
+            h,
+            "<p>Critical path: <b>{} ms</b> over {} steps.</p>\n<div class=\"bar\">",
+            ms(s.path.wall_ns),
+            s.path.steps
+        );
+        for (label, ns) in s.path.parts() {
+            if ns == 0 || s.path.wall_ns == 0 {
+                continue;
+            }
+            let pct = 100.0 * ns as f64 / s.path.wall_ns as f64;
+            let cat = match label {
+                "compute" => Category::Compute,
+                "barrier" => Category::Barrier,
+                "lock" => Category::Lock,
+                "wire" => Category::Wire,
+                _ => Category::Idle,
+            };
+            let _ = write!(
+                h,
+                "<div style=\"width:{pct:.2}%;background:{}\" title=\"{label}: {} ms ({pct:.1}%)\"></div>",
+                color(cat),
+                ms(ns)
+            );
+        }
+        h.push_str("</div>\n<table><tr>");
+        for (label, _) in s.path.parts() {
+            let _ = write!(h, "<th>{label} (ms)</th>");
+        }
+        h.push_str("</tr><tr>");
+        for (_, ns) in s.path.parts() {
+            let _ = write!(h, "<td>{}</td>", ms(ns));
+        }
+        h.push_str("</tr></table>\n");
+
+        // Scaling table.
+        if !s.scaling.is_empty() {
+            h.push_str(
+                "<table><tr><th>p</th><th>time (s)</th><th>speedup</th>\
+                 <th>efficiency</th><th>Karp–Flatt e</th></tr>\n",
+            );
+            for r in &s.scaling {
+                let _ = writeln!(
+                    h,
+                    "<tr><td>{}</td><td>{:.4}</td><td>{:.3}</td><td>{:.3}</td><td>{:.4}</td></tr>",
+                    r.p, r.time_s, r.speedup, r.efficiency, r.karp_flatt
+                );
+            }
+            h.push_str("</table>\n");
+        }
+
+        // Histogram percentiles.
+        if !s.histograms.is_empty() {
+            h.push_str(
+                "<table><tr><th>metric</th><th>samples</th><th>p50 (µs)</th>\
+                 <th>p90 (µs)</th><th>p99 (µs)</th><th>max (µs)</th></tr>\n",
+            );
+            for hs in &s.histograms {
+                h.push_str("<tr><td>");
+                esc(&hs.cat, &mut h);
+                h.push('/');
+                esc(&hs.name, &mut h);
+                let _ = write!(
+                    h,
+                    "</td><td>{}</td><td>{:.1}</td><td>{:.1}</td><td>{:.1}</td><td>{:.1}</td></tr>",
+                    hs.count,
+                    hs.p50_ns as f64 / 1e3,
+                    hs.p90_ns as f64 / 1e3,
+                    hs.p99_ns as f64 / 1e3,
+                    hs.max_ns as f64 / 1e3
+                );
+            }
+            h.push_str("</table>\n");
+        }
+    }
+
+    for (label, lines) in traces {
+        h.push_str("<h2>timeline — ");
+        esc(label, &mut h);
+        h.push_str("</h2>\n");
+        timeline_svg(lines, &mut h);
+    }
+
+    h.push_str("</body></html>\n");
+    h
+}
+
+/// One SVG timeline: a row per `(pid, tid)` lane, spans as category-
+/// colored rects, `fault_injected` instants as red markers.
+fn timeline_svg(lines: &[TraceLine], h: &mut String) {
+    let mut lanes: Vec<(Option<u64>, u64)> = lines
+        .iter()
+        .filter(|l| {
+            matches!(l.kind, LineKind::Span { .. })
+                || (matches!(l.kind, LineKind::Instant) && l.name == "fault_injected")
+        })
+        .map(|l| (l.pid, l.tid))
+        .collect();
+    lanes.sort();
+    lanes.dedup();
+    if lanes.is_empty() {
+        h.push_str("<p class=\"note\">no spans in this trace</p>\n");
+        return;
+    }
+    let lane_row =
+        |pid: Option<u64>, tid: u64| lanes.binary_search(&(pid, tid)).expect("lane listed above");
+
+    let t0 = lines
+        .iter()
+        .filter(|l| matches!(l.kind, LineKind::Span { .. } | LineKind::Instant))
+        .map(|l| l.ts_ns)
+        .min()
+        .unwrap_or(0);
+    let t1 = lines
+        .iter()
+        .filter(|l| matches!(l.kind, LineKind::Span { .. } | LineKind::Instant))
+        .map(|l| l.end_ns())
+        .max()
+        .unwrap_or(t0 + 1)
+        .max(t0 + 1);
+    let span_ns = (t1 - t0) as f64;
+
+    const W: f64 = 1040.0;
+    const ROW_H: f64 = 22.0;
+    const LABEL_W: f64 = 80.0;
+    let height = lanes.len() as f64 * ROW_H + 24.0;
+    let x_of = |ts: u64| LABEL_W + (ts - t0) as f64 / span_ns * (W - LABEL_W - 8.0);
+
+    // Collect span rects; if over budget, keep the longest (the ones a
+    // reader can actually see).
+    let mut spans: Vec<&TraceLine> = lines
+        .iter()
+        .filter(|l| matches!(l.kind, LineKind::Span { .. }))
+        .collect();
+    let total_spans = spans.len();
+    if spans.len() > MAX_RECTS {
+        spans.sort_by_key(|l| std::cmp::Reverse(l.end_ns() - l.ts_ns));
+        spans.truncate(MAX_RECTS);
+        spans.sort_by_key(|l| (l.pid, l.tid, l.ts_ns));
+    }
+
+    let _ = writeln!(
+        h,
+        "<svg viewBox=\"0 0 {W} {height}\" width=\"100%\" role=\"img\" \
+         aria-label=\"per-rank timeline\">"
+    );
+    for (row, (pid, tid)) in lanes.iter().enumerate() {
+        let y = row as f64 * ROW_H + 12.0;
+        let label = match pid {
+            Some(pid) => format!("pid{pid}/t{tid}"),
+            None => format!("t{tid}"),
+        };
+        let _ = writeln!(
+            h,
+            "<text x=\"4\" y=\"{:.1}\" font-size=\"11\">{label}</text>",
+            y + ROW_H * 0.65
+        );
+        let _ = writeln!(
+            h,
+            "<line x1=\"{LABEL_W}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#e5e5e5\"/>",
+            y + ROW_H / 2.0,
+            W - 8.0,
+            y + ROW_H / 2.0
+        );
+    }
+    for l in &spans {
+        let row = lane_row(l.pid, l.tid);
+        let y = row as f64 * ROW_H + 14.0;
+        let x = x_of(l.ts_ns);
+        let w = (x_of(l.end_ns()) - x).max(0.5);
+        let cat = Category::of(&l.cat, &l.name);
+        h.push_str("<rect x=\"");
+        let _ = write!(
+            h,
+            "{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" height=\"{:.1}\" \
+             fill=\"{}\" fill-opacity=\"0.85\"><title>",
+            ROW_H - 6.0,
+            color(cat)
+        );
+        esc(&l.cat, h);
+        h.push(':');
+        esc(&l.name, h);
+        let _ = writeln!(h, " {} ms</title></rect>", ms(l.end_ns() - l.ts_ns));
+    }
+    // Fault overlay: one marker per injected-fault decision.
+    for l in lines {
+        if !matches!(l.kind, LineKind::Instant) || l.name != "fault_injected" {
+            continue;
+        }
+        let row = lane_row(l.pid, l.tid);
+        let y = row as f64 * ROW_H + 12.0 + ROW_H / 2.0;
+        let x = x_of(l.ts_ns);
+        let kind = l.arg_str("fault").unwrap_or("fault");
+        let _ = write!(
+            h,
+            "<circle cx=\"{x:.2}\" cy=\"{y:.1}\" r=\"3.5\" fill=\"#d4343a\" \
+             stroke=\"#fff\" stroke-width=\"1\"><title>injected {kind}"
+        );
+        if let Some(dst) = l.arg_u64("dst") {
+            let _ = write!(h, " -> rank {dst}");
+        }
+        let _ = writeln!(h, " at {} ms</title></circle>", ms(l.ts_ns - t0));
+    }
+    h.push_str("</svg>\n");
+    if total_spans > MAX_RECTS {
+        let _ = writeln!(
+            h,
+            "<p class=\"note\">showing the {MAX_RECTS} longest of {total_spans} spans</p>"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistSummary, InsightReport, PathSummary, ScalingRow, StudyInsight};
+    use pdc_analyze::traceio::parse_jsonl;
+
+    fn report() -> InsightReport {
+        InsightReport::new(vec![StudyInsight {
+            study: "module A".into(),
+            path: PathSummary {
+                wall_ns: 100_000_000,
+                compute_ns: 70_000_000,
+                barrier_ns: 20_000_000,
+                lock_ns: 0,
+                wire_ns: 0,
+                idle_ns: 10_000_000,
+                steps: 5,
+            },
+            scaling: vec![ScalingRow::new(4, 1.25, 3.2, 0.8, 0.083)],
+            histograms: vec![HistSummary {
+                cat: "shmem".into(),
+                name: "barrier_wait".into(),
+                count: 9,
+                p50_ns: 1_000,
+                p90_ns: 2_000,
+                p99_ns: 3_000,
+                max_ns: 3_100,
+            }],
+        }])
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        let html = render(&report(), &[]);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("module A"));
+        assert!(html.contains("Karp–Flatt"));
+        assert!(html.contains("shmem/barrier_wait"));
+        assert!(!html.contains("http://"), "no external assets");
+        assert!(!html.contains("https://"), "no external assets");
+    }
+
+    #[test]
+    fn timelines_render_lanes_and_fault_markers() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"work","ts_ns":0,"tid":1,"pid":5,"dur_ns":100}
+{"kind":"span","cat":"mpc","name":"send","ts_ns":40,"tid":2,"pid":6,"dur_ns":20,"args":{"src":0,"dst":1,"tag":3}}
+{"kind":"instant","cat":"net","name":"fault_injected","ts_ns":50,"tid":2,"pid":6,"args":{"fault":"drop","dst":1,"tag":3}}
+"#;
+        let html = render(&report(), &[("net".into(), parse_jsonl(jsonl))]);
+        assert!(html.contains("timeline — net"));
+        assert!(html.contains("pid5/t1"));
+        assert!(html.contains("injected drop"));
+        assert!(html.contains("<circle"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(render(&report(), &[]), render(&report(), &[]));
+    }
+}

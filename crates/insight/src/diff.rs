@@ -1,0 +1,304 @@
+//! The perf-regression gate: compare two insight artifacts.
+//!
+//! `pdc-insight diff <baseline> <candidate>` compares studies by name
+//! and flags **regressions** — the candidate got meaningfully worse —
+//! with noise tolerance on two axes:
+//!
+//! * **relative**: a metric must grow by more than a threshold fraction
+//!   (default 10% wall, 25% per-category, 50% tail latency — waits and
+//!   tails are noisier than wall time);
+//! * **absolute**: growth under an absolute floor (default 1 ms) never
+//!   flags, however large the ratio — a 3 µs barrier wait tripling is
+//!   measurement noise, not a regression.
+//!
+//! Improvements and disappearing metrics never flag; a study present in
+//! the baseline but missing from the candidate does (losing a study is
+//! how a gate silently rots). Exit status: `diff_reports(...).ok()`
+//! false → nonzero.
+
+use serde::{Deserialize, Serialize};
+
+use crate::report::{InsightReport, StudyInsight};
+
+/// Noise-tolerance knobs. Defaults are deliberately loose: the gate is
+/// meant to catch a real 20% cliff, not to flap on scheduler jitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Max tolerated relative growth of a study's critical-path wall
+    /// time (fraction, e.g. `0.10` = 10%).
+    pub wall_frac: f64,
+    /// Max tolerated relative growth of one attribution category.
+    pub category_frac: f64,
+    /// Max tolerated relative growth of a histogram's p99.
+    pub p99_frac: f64,
+    /// Max tolerated relative drop of a scaling row's speedup.
+    pub speedup_frac: f64,
+    /// Absolute floor: nanosecond growth below this never flags.
+    pub floor_ns: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            wall_frac: 0.10,
+            category_frac: 0.25,
+            p99_frac: 0.50,
+            speedup_frac: 0.10,
+            floor_ns: 1_000_000, // 1 ms
+        }
+    }
+}
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    pub study: String,
+    /// What regressed (`"wall"`, `"barrier"`, `"hist shmem/barrier_wait p99"`,
+    /// `"speedup p=4"`, `"missing study"`).
+    pub metric: String,
+    pub baseline: f64,
+    pub candidate: f64,
+    /// Relative change, positive = worse.
+    pub change_frac: f64,
+}
+
+/// The outcome of one comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffReport {
+    pub thresholds: Thresholds,
+    pub regressions: Vec<Regression>,
+    /// Studies compared (names present in both artifacts).
+    pub compared: Vec<String>,
+}
+
+impl DiffReport {
+    /// The gate: true when nothing regressed and at least one study was
+    /// actually compared (two disjoint artifacts must not pass).
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty() && !self.compared.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Insight diff: {} stud{} compared, {} regression{}\n",
+            self.compared.len(),
+            if self.compared.len() == 1 { "y" } else { "ies" },
+            self.regressions.len(),
+            if self.regressions.len() == 1 { "" } else { "s" },
+        );
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION [{}] {}: {:.4} -> {:.4} ({:+.1}%)\n",
+                r.study,
+                r.metric,
+                r.baseline,
+                r.candidate,
+                100.0 * r.change_frac
+            ));
+        }
+        out.push_str(&format!(
+            "  verdict: {}\n",
+            if self.ok() {
+                "no regressions"
+            } else {
+                "GATE FAILS"
+            }
+        ));
+        out
+    }
+}
+
+/// Did `cand` grow past both the relative and absolute tolerance?
+fn worse_ns(base: u64, cand: u64, frac: f64, floor_ns: u64) -> bool {
+    cand > base
+        && cand - base >= floor_ns
+        && (base == 0 || (cand - base) as f64 > frac * base as f64)
+}
+
+fn rel(base: f64, cand: f64) -> f64 {
+    if base == 0.0 {
+        if cand == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (cand - base) / base
+    }
+}
+
+fn diff_study(base: &StudyInsight, cand: &StudyInsight, t: &Thresholds, out: &mut Vec<Regression>) {
+    let push = |out: &mut Vec<Regression>, metric: String, b: f64, c: f64| {
+        out.push(Regression {
+            study: base.study.clone(),
+            metric,
+            baseline: b,
+            candidate: c,
+            change_frac: rel(b, c),
+        });
+    };
+
+    if worse_ns(
+        base.path.wall_ns,
+        cand.path.wall_ns,
+        t.wall_frac,
+        t.floor_ns,
+    ) {
+        push(
+            out,
+            "wall_ns".into(),
+            base.path.wall_ns as f64,
+            cand.path.wall_ns as f64,
+        );
+    }
+    for ((label, b_ns), (_, c_ns)) in base.path.parts().into_iter().zip(cand.path.parts()) {
+        if worse_ns(b_ns, c_ns, t.category_frac, t.floor_ns) {
+            push(out, format!("{label}_ns"), b_ns as f64, c_ns as f64);
+        }
+    }
+    for b_row in &base.scaling {
+        if let Some(c_row) = cand.scaling.iter().find(|c| c.p == b_row.p) {
+            let drop = rel(b_row.speedup, c_row.speedup);
+            if drop < -t.speedup_frac {
+                push(
+                    out,
+                    format!("speedup p={}", b_row.p),
+                    b_row.speedup,
+                    c_row.speedup,
+                );
+                // Report the drop as positive "worse".
+                out.last_mut().expect("just pushed").change_frac = -drop;
+            }
+        }
+    }
+    for b_h in &base.histograms {
+        if let Some(c_h) = cand
+            .histograms
+            .iter()
+            .find(|c| c.cat == b_h.cat && c.name == b_h.name)
+        {
+            if worse_ns(b_h.p99_ns, c_h.p99_ns, t.p99_frac, t.floor_ns) {
+                push(
+                    out,
+                    format!("hist {}/{} p99_ns", b_h.cat, b_h.name),
+                    b_h.p99_ns as f64,
+                    c_h.p99_ns as f64,
+                );
+            }
+        }
+    }
+}
+
+/// Compare a candidate artifact against a baseline.
+pub fn diff_reports(base: &InsightReport, cand: &InsightReport, t: Thresholds) -> DiffReport {
+    let mut regressions = Vec::new();
+    let mut compared = Vec::new();
+    for b in &base.studies {
+        match cand.studies.iter().find(|c| c.study == b.study) {
+            Some(c) => {
+                compared.push(b.study.clone());
+                diff_study(b, c, &t, &mut regressions);
+            }
+            None => regressions.push(Regression {
+                study: b.study.clone(),
+                metric: "missing study".into(),
+                baseline: 1.0,
+                candidate: 0.0,
+                change_frac: f64::INFINITY,
+            }),
+        }
+    }
+    DiffReport {
+        thresholds: t,
+        regressions,
+        compared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{HistSummary, PathSummary, ScalingRow};
+
+    fn study(wall_ms: u64, barrier_ms: u64, speedup4: f64, p99_us: u64) -> StudyInsight {
+        let wall_ns = wall_ms * 1_000_000;
+        let barrier_ns = barrier_ms * 1_000_000;
+        StudyInsight {
+            study: "module A".into(),
+            path: PathSummary {
+                wall_ns,
+                compute_ns: wall_ns - barrier_ns,
+                barrier_ns,
+                lock_ns: 0,
+                wire_ns: 0,
+                idle_ns: 0,
+                steps: 4,
+            },
+            scaling: vec![
+                ScalingRow::new(1, 4.0, 1.0, 1.0, 0.0),
+                ScalingRow::new(4, 4.0 / speedup4, speedup4, speedup4 / 4.0, 0.05),
+            ],
+            histograms: vec![HistSummary {
+                cat: "shmem".into(),
+                name: "barrier_wait".into(),
+                count: 100,
+                p50_ns: p99_us * 300,
+                p90_ns: p99_us * 800,
+                p99_ns: p99_us * 1_000,
+                max_ns: p99_us * 1_100,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = InsightReport::new(vec![study(100, 20, 3.2, 5_000)]);
+        let d = diff_reports(&r, &r, Thresholds::default());
+        assert!(d.ok(), "{}", d.render());
+        assert_eq!(d.compared, vec!["module A"]);
+    }
+
+    #[test]
+    fn twenty_percent_wall_regression_fails() {
+        let base = InsightReport::new(vec![study(100, 20, 3.2, 5_000)]);
+        let cand = InsightReport::new(vec![study(120, 20, 3.2, 5_000)]);
+        let d = diff_reports(&base, &cand, Thresholds::default());
+        assert!(!d.ok());
+        assert!(d.regressions.iter().any(|r| r.metric == "wall_ns"), "{d:?}");
+    }
+
+    #[test]
+    fn small_absolute_growth_is_noise() {
+        // Barrier triples but only grows by 200 µs — under the 1 ms
+        // floor, so tolerated.
+        let base = InsightReport::new(vec![study(100, 0, 3.2, 100)]);
+        let mut cand = InsightReport::new(vec![study(100, 0, 3.2, 300)]);
+        cand.studies[0].path.barrier_ns = 200_000;
+        cand.studies[0].path.compute_ns -= 200_000;
+        let d = diff_reports(&base, &cand, Thresholds::default());
+        assert!(d.ok(), "{}", d.render());
+    }
+
+    #[test]
+    fn speedup_drop_and_missing_study_fail() {
+        let base = InsightReport::new(vec![study(100, 20, 3.2, 5_000)]);
+        let cand = InsightReport::new(vec![study(100, 20, 2.0, 5_000)]);
+        let d = diff_reports(&base, &cand, Thresholds::default());
+        assert!(d.regressions.iter().any(|r| r.metric == "speedup p=4"));
+
+        let empty = InsightReport::new(vec![]);
+        let d = diff_reports(&base, &empty, Thresholds::default());
+        assert!(!d.ok());
+        assert_eq!(d.regressions[0].metric, "missing study");
+        // And two disjoint artifacts must not silently pass.
+        assert!(!diff_reports(&empty, &empty, Thresholds::default()).ok());
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let base = InsightReport::new(vec![study(100, 20, 3.2, 5_000)]);
+        let cand = InsightReport::new(vec![study(50, 5, 3.9, 1_000)]);
+        assert!(diff_reports(&base, &cand, Thresholds::default()).ok());
+    }
+}

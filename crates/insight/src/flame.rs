@@ -1,0 +1,128 @@
+//! Collapsed-stack flamegraph export.
+//!
+//! The standard flamegraph interchange format is one line per unique
+//! stack: `frame;frame;frame value`. Values here are **self-time
+//! nanoseconds** — the time a stack's innermost frame was running with
+//! no deeper span open — so the totals a flamegraph renderer computes
+//! by summing children reproduce each span's inclusive time exactly.
+//!
+//! Lanes are prefixed as root frames (`pid12/tid3`) so a merged
+//! multi-process trace renders as one flamegraph with a root per rank.
+//! Output lines are sorted, making the export byte-deterministic for a
+//! given trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use pdc_analyze::traceio::{LineKind, TraceLine};
+
+/// Build collapsed-stack text from parsed trace lines.
+pub fn collapsed_stacks(lines: &[TraceLine]) -> String {
+    // Group span indexes per lane, sorted by (start, end) so parents
+    // (equal start, longer duration sorts later — we need parents
+    // FIRST, so sort by start asc, end desc).
+    let mut lanes: BTreeMap<(Option<u64>, u64), Vec<usize>> = BTreeMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        if matches!(line.kind, LineKind::Span { .. }) {
+            lanes.entry((line.pid, line.tid)).or_default().push(i);
+        }
+    }
+
+    let mut self_ns: BTreeMap<String, u64> = BTreeMap::new();
+    for ((pid, tid), mut idxs) in lanes {
+        idxs.sort_by_key(|&i| (lines[i].ts_ns, std::cmp::Reverse(lines[i].end_ns())));
+        let root = match pid {
+            Some(pid) => format!("pid{pid}/tid{tid}"),
+            None => format!("tid{tid}"),
+        };
+        // Nesting sweep: stack of (span index, child time consumed).
+        let mut stack: Vec<(usize, u64)> = Vec::new();
+        let credit = |stack: &[(usize, u64)], out: &mut BTreeMap<String, u64>, ns: u64| {
+            if ns == 0 {
+                return;
+            }
+            let mut key = root.clone();
+            for &(i, _) in stack {
+                let _ = write!(key, ";{}:{}", lines[i].cat, lines[i].name);
+            }
+            *out.entry(key).or_insert(0) += ns;
+        };
+        for &i in &idxs {
+            while let Some(&(top, child_ns)) = stack.last() {
+                if lines[top].end_ns() <= lines[i].ts_ns {
+                    // top closes: credit its self time.
+                    let LineKind::Span { dur_ns } = lines[top].kind else {
+                        unreachable!()
+                    };
+                    credit(&stack, &mut self_ns, dur_ns.saturating_sub(child_ns));
+                    stack.pop();
+                    if let Some(parent) = stack.last_mut() {
+                        parent.1 += dur_ns;
+                    }
+                } else {
+                    break;
+                }
+            }
+            stack.push((i, 0));
+        }
+        while let Some((top, child_ns)) = stack.pop() {
+            let LineKind::Span { dur_ns } = lines[top].kind else {
+                unreachable!()
+            };
+            // Credit with the span still on a reconstructed stack.
+            let mut full: Vec<(usize, u64)> = stack.clone();
+            full.push((top, child_ns));
+            credit(&full, &mut self_ns, dur_ns.saturating_sub(child_ns));
+            if let Some(parent) = stack.last_mut() {
+                parent.1 += dur_ns;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (stack, ns) in self_ns {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_analyze::traceio::parse_jsonl;
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"outer","ts_ns":0,"tid":1,"dur_ns":100}
+{"kind":"span","cat":"app","name":"inner","ts_ns":20,"tid":1,"dur_ns":30}
+"#;
+        let text = collapsed_stacks(&parse_jsonl(jsonl));
+        assert!(text.contains("tid1;app:outer 70\n"), "got: {text}");
+        assert!(
+            text.contains("tid1;app:outer;app:inner 30\n"),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn lanes_get_pid_roots_and_output_is_sorted() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"b","ts_ns":0,"tid":1,"pid":9,"dur_ns":5}
+{"kind":"span","cat":"app","name":"a","ts_ns":0,"tid":1,"pid":3,"dur_ns":5}
+"#;
+        let text = collapsed_stacks(&parse_jsonl(jsonl));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["pid3/tid1;app:a 5", "pid9/tid1;app:b 5"],);
+    }
+
+    #[test]
+    fn repeated_stacks_accumulate() {
+        let jsonl = r#"
+{"kind":"span","cat":"app","name":"w","ts_ns":0,"tid":1,"dur_ns":10}
+{"kind":"span","cat":"app","name":"w","ts_ns":20,"tid":1,"dur_ns":15}
+"#;
+        let text = collapsed_stacks(&parse_jsonl(jsonl));
+        assert_eq!(text, "tid1;app:w 25\n");
+    }
+}

@@ -1,0 +1,110 @@
+//! Folding per-process histogram lines back into distributions.
+//!
+//! Each traced process exports its histograms as sparse
+//! `{"kind":"hist",...}` JSONL lines (see `pdc_trace::export::hist_jsonl`).
+//! Because `pdc_trace::hist::bucket_index` is a pure function of the
+//! value — no per-process configuration — a merged multi-rank stream
+//! folds back into one [`Histogram`] per `(category, name)` metric by
+//! plain bucket addition, and the percentiles of the fold are the
+//! percentiles of the union of every rank's samples (up to the fixed
+//! ≤6.25% quantization).
+
+use std::collections::BTreeMap;
+
+use pdc_analyze::traceio::{LineKind, TraceLine};
+use pdc_trace::Histogram;
+
+/// Histograms per `(category, name)`, folded across processes.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSet {
+    map: BTreeMap<(String, String), Histogram>,
+}
+
+impl HistogramSet {
+    /// Fold every histogram line in a parsed trace stream.
+    pub fn from_lines(lines: &[TraceLine]) -> Self {
+        let mut set = Self::default();
+        for line in lines {
+            if let LineKind::Hist(h) = &line.kind {
+                set.fold(&line.cat, &line.name, &Histogram::from_buckets(&h.buckets));
+            }
+        }
+        set
+    }
+
+    /// Merge one histogram into the metric's fold.
+    pub fn fold(&mut self, cat: &str, name: &str, h: &Histogram) {
+        self.map
+            .entry((cat.to_owned(), name.to_owned()))
+            .or_default()
+            .merge(h);
+    }
+
+    /// The folded histogram for a metric, if any rank recorded it.
+    pub fn get(&self, cat: &str, name: &str) -> Option<&Histogram> {
+        self.map.get(&(cat.to_owned(), name.to_owned()))
+    }
+
+    /// Iterate metrics in deterministic `(category, name)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, &Histogram)> {
+        self.map
+            .iter()
+            .map(|((c, n), h)| (c.as_str(), n.as_str(), h))
+    }
+
+    /// Number of distinct metrics.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no metric was folded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdc_analyze::traceio::parse_jsonl;
+    use pdc_trace::hist::bucket_index;
+
+    #[test]
+    fn folds_same_metric_across_pids() {
+        // Two ranks each recorded the same metric; the fold must count
+        // both ranks' samples.
+        let b1 = bucket_index(1_000);
+        let b2 = bucket_index(50_000);
+        let jsonl = format!(
+            concat!(
+                "{{\"kind\":\"hist\",\"cat\":\"net\",\"name\":\"rtt\",\"pid\":10,",
+                "\"count\":3,\"sum\":3000,\"min\":1000,\"max\":1000,\"buckets\":[[{b1},3]]}}\n",
+                "{{\"kind\":\"hist\",\"cat\":\"net\",\"name\":\"rtt\",\"pid\":20,",
+                "\"count\":2,\"sum\":100000,\"min\":50000,\"max\":50000,\"buckets\":[[{b2},2]]}}\n",
+            ),
+            b1 = b1,
+            b2 = b2,
+        );
+        let set = HistogramSet::from_lines(&parse_jsonl(&jsonl));
+        assert_eq!(set.len(), 1);
+        let h = set.get("net", "rtt").unwrap();
+        assert_eq!(h.count(), 5);
+        // p50 sits in the low cluster, p99 in the high one.
+        assert!(h.percentile(50.0) < 10_000);
+        assert!(h.percentile(99.0) > 40_000);
+    }
+
+    #[test]
+    fn distinct_metrics_stay_separate() {
+        let jsonl = concat!(
+            "{\"kind\":\"hist\",\"cat\":\"mpc\",\"name\":\"frame_rtt\",\"pid\":1,",
+            "\"count\":1,\"sum\":5,\"min\":5,\"max\":5,\"buckets\":[[5,1]]}\n",
+            "{\"kind\":\"hist\",\"cat\":\"shmem\",\"name\":\"barrier_wait\",\"pid\":1,",
+            "\"count\":1,\"sum\":7,\"min\":7,\"max\":7,\"buckets\":[[7,1]]}\n",
+        );
+        let set = HistogramSet::from_lines(&parse_jsonl(jsonl));
+        assert_eq!(set.len(), 2);
+        let keys: Vec<(&str, &str)> = set.iter().map(|(c, n, _)| (c, n)).collect();
+        assert_eq!(keys, vec![("mpc", "frame_rtt"), ("shmem", "barrier_wait")]);
+    }
+}

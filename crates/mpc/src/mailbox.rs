@@ -131,8 +131,10 @@ impl Mailbox {
         };
         // Sampled on every deposit/removal, the gauge traces the queue
         // depth over time — backlog spikes show up as a sawtooth in the
-        // timeline rather than only as an end-of-run total.
+        // timeline rather than only as an end-of-run total — while the
+        // histogram keeps the depth *distribution* (p50/p90/p99).
         pdc_trace::gauge("mpc", "mailbox_depth", depth as f64);
+        pdc_trace::hist("mpc", "mailbox_depth", depth as u64);
         self.arrived.notify_all();
     }
 
@@ -147,6 +149,7 @@ impl Mailbox {
             q.len()
         };
         pdc_trace::gauge("mpc", "mailbox_depth", depth as f64);
+        pdc_trace::hist("mpc", "mailbox_depth", depth as u64);
         self.arrived.notify_all();
     }
 
@@ -206,6 +209,7 @@ impl Mailbox {
             let pos = q.iter().position(|e| e.matches(comm_id, &src, &tag))?;
             let env = q.remove(pos).expect("position just found");
             pdc_trace::gauge("mpc", "mailbox_depth", q.len() as f64);
+            pdc_trace::hist("mpc", "mailbox_depth", q.len() as u64);
             if let Some(latch) = &env.sync_ack {
                 latch.open();
             }

@@ -120,20 +120,38 @@ pub trait Transport: Send + Sync {
 #[derive(Debug, Default)]
 pub(crate) struct AckTable {
     next: AtomicU64,
-    pending: Mutex<HashMap<u64, Arc<Latch>>>,
+    /// id -> (latch, registration time in trace-ns; 0 when tracing was
+    /// off at registration, so no sample is recorded at completion).
+    pending: Mutex<HashMap<u64, (Arc<Latch>, u64)>>,
 }
 
 impl AckTable {
     /// Register a latch; returns its nonzero ack id.
     pub(crate) fn register(&self, latch: Arc<Latch>) -> u64 {
         let id = self.next.fetch_add(1, Ordering::Relaxed) + 1; // 0 = "no ack wanted"
-        self.pending.lock().insert(id, latch);
+        let registered_ns = if pdc_trace::is_enabled() {
+            pdc_trace::now_ns()
+        } else {
+            0
+        };
+        self.pending.lock().insert(id, (latch, registered_ns));
         id
     }
 
-    /// Remove and return a registered latch, if still present.
+    /// Remove and return a registered latch, if still present. The
+    /// register-to-take interval is the frame's application-level round
+    /// trip — send to matched-and-acked — recorded as the `frame_rtt`
+    /// histogram.
     pub(crate) fn take(&self, id: u64) -> Option<Arc<Latch>> {
-        self.pending.lock().remove(&id)
+        let (latch, registered_ns) = self.pending.lock().remove(&id)?;
+        if registered_ns != 0 {
+            pdc_trace::hist(
+                "mpc",
+                "frame_rtt",
+                pdc_trace::now_ns().saturating_sub(registered_ns),
+            );
+        }
+        Some(latch)
     }
 }
 

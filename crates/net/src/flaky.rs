@@ -98,6 +98,23 @@ impl Transport for FlakyTransport {
         if !user || !self.armed.load(Ordering::Relaxed) {
             return self.inner.send_frame(dst, frame);
         }
+        // Each verdict is recorded twice: the counter keeps the totals
+        // that reconcile against the injector's ledger, and a
+        // timestamped `fault_injected` instant (kind/dst/tag) places
+        // the decision on the timeline so dashboards can overlay faults
+        // on the traffic they perturbed.
+        let tag = frame.tag;
+        let fault_instant = move |kind: &'static str| {
+            pdc_trace::instant(
+                "net",
+                "fault_injected",
+                vec![
+                    ("fault", kind.into()),
+                    ("dst", dst.into()),
+                    ("tag", i64::from(tag).into()),
+                ],
+            );
+        };
         match self.injector.on_send(self.inner.rank(), dst, true) {
             SendFault::Deliver => self.inner.send_frame(dst, frame),
             SendFault::Drop => {
@@ -105,6 +122,7 @@ impl Transport for FlakyTransport {
                 // already charged its ledger; the net layer counts the
                 // lost frame too so wire traces reconcile.
                 pdc_trace::counter("net", "frames_dropped", 1);
+                fault_instant("drop");
                 Ok(FrameOutcome::InjectedDrop)
             }
             SendFault::Duplicate => {
@@ -115,10 +133,12 @@ impl Transport for FlakyTransport {
                 twin.ack_id = 0;
                 self.inner.send_frame(dst, frame)?;
                 pdc_trace::counter("net", "frames_duplicated", 1);
+                fault_instant("duplicate");
                 self.inner.send_frame(dst, twin)
             }
             SendFault::Delay(how_long) => {
                 pdc_trace::counter("net", "frames_delayed", 1);
+                fault_instant("delay");
                 std::thread::sleep(how_long);
                 self.inner.send_frame(dst, frame)
             }
@@ -126,6 +146,7 @@ impl Transport for FlakyTransport {
                 let mut frame = frame;
                 frame.overtake = true;
                 pdc_trace::counter("net", "frames_reordered", 1);
+                fault_instant("reorder");
                 self.inner.send_frame(dst, frame)
             }
         }

@@ -721,9 +721,8 @@ impl Shared {
                     break;
                 }
             };
-            self.peers[peer]
-                .last_seen
-                .store(self.now_ns(), Ordering::Relaxed);
+            let now = self.now_ns();
+            let prev_seen = self.peers[peer].last_seen.swap(now, Ordering::Relaxed);
             pdc_trace::counter("net", "frames_received", 1);
             match frame.kind {
                 FrameKind::Data => {
@@ -762,7 +761,16 @@ impl Shared {
                     };
                     handle.complete_ack(frame.ack_id);
                 }
-                FrameKind::Heartbeat => {} // last_seen refresh was the point
+                FrameKind::Heartbeat => {
+                    // The last_seen refresh was the point; additionally
+                    // record how long this link had been silent. The
+                    // distribution's tail is the failure detector's
+                    // noise floor — a p99 near the timeout means the
+                    // detector is one hiccup away from a false verdict.
+                    if prev_seen != 0 && now > prev_seen {
+                        pdc_trace::hist("net", "heartbeat_gap", now - prev_seen);
+                    }
+                }
                 FrameKind::Dead => {
                     let Some(handle) = self.wait_handle() else {
                         break;

@@ -37,6 +37,7 @@ impl<T> SpinLock<T> {
     #[track_caller]
     pub fn lock(&self) -> SpinLockGuard<'_, T> {
         let site = Site::caller();
+        let wait_start = pdc_trace::is_enabled().then(pdc_trace::now_ns);
         let mut tries = 0u32;
         loop {
             // Test-and-test-and-set: only attempt the RMW when the lock
@@ -52,6 +53,15 @@ impl<T> SpinLock<T> {
                     // per spin iteration — the count answers "how often
                     // was this lock busy?", not "how long did we wait?".
                     pdc_trace::counter("shmem", "spinlock_contended", 1);
+                    // The histogram answers the second question: every
+                    // contended acquisition records its wait time.
+                    if let Some(t0) = wait_start {
+                        pdc_trace::hist(
+                            "shmem",
+                            "lock_wait",
+                            pdc_trace::now_ns().saturating_sub(t0),
+                        );
+                    }
                 }
                 hooks::emit(&SyncEvent::Acquire {
                     lock: hooks::obj_id(self as *const _),

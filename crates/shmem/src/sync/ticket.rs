@@ -39,6 +39,7 @@ impl<T> TicketLock<T> {
     #[track_caller]
     pub fn lock(&self) -> TicketLockGuard<'_, T> {
         let site = Site::caller();
+        let wait_start = pdc_trace::is_enabled().then(pdc_trace::now_ns);
         let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut tries = 0u32;
         while self.now_serving.load(Ordering::Acquire) != ticket {
@@ -47,8 +48,13 @@ impl<T> TicketLock<T> {
         }
         if tries > 0 {
             // Counted once per acquisition that found another ticket
-            // ahead of it, mirroring the SpinLock contention counter.
+            // ahead of it, mirroring the SpinLock contention counter —
+            // and, like it, a `lock_wait` histogram sample for how long
+            // the queue delay actually was.
             pdc_trace::counter("shmem", "ticketlock_contended", 1);
+            if let Some(t0) = wait_start {
+                pdc_trace::hist("shmem", "lock_wait", pdc_trace::now_ns().saturating_sub(t0));
+            }
         }
         hooks::emit(&SyncEvent::Acquire {
             lock: hooks::obj_id(self as *const _),

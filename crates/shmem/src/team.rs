@@ -331,7 +331,9 @@ impl ThreadCtx<'_> {
     /// covering its arrival-to-release interval; the summary exporter
     /// turns those into the per-barrier wait-time histogram.
     pub fn barrier(&self) -> bool {
-        let mut wait = pdc_trace::span("shmem", "barrier_wait");
+        // span_hist: the wait also lands in the `barrier_wait` duration
+        // histogram, so straggler-induced waits get p50/p90/p99.
+        let mut wait = pdc_trace::span_hist("shmem", "barrier_wait");
         wait.arg("thread", self.id);
         let barrier_id = hooks::obj_id(&*self.shared.barrier as *const dyn Barrier);
         hooks::emit(&SyncEvent::BarrierArrive {

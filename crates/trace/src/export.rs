@@ -5,7 +5,8 @@
 //! dependency-free; the JSON subset emitted here (numbers, escaped
 //! strings, flat objects) is small enough that this is safe.
 
-use crate::{ArgValue, Event, EventKind};
+use crate::hist::Histogram;
+use crate::{ArgValue, Event, EventKind, MetricKey};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -192,15 +193,38 @@ pub fn jsonl(events: &[Event]) -> String {
     out
 }
 
+/// Render drained histograms as JSONL lines, one per metric:
+/// `{"kind":"hist","cat":..,"name":..,"pid":..,"count":..,"sum":..,"min":..,"max":..,"buckets":[[idx,count],..]}`.
+/// Lines concatenate with the event JSONL stream; rank processes in the
+/// wire study append theirs to the per-rank trace file and the driver
+/// (or `pdc-insight`) merges same-keyed histograms by bucket addition.
+pub fn hist_jsonl(hists: &BTreeMap<MetricKey, Histogram>) -> String {
+    let pid = std::process::id();
+    let mut out = String::new();
+    for ((cat, name), h) in hists {
+        let _ = write!(out, "{{\"kind\":\"hist\",\"cat\":");
+        escape_into(cat, &mut out);
+        out.push_str(",\"name\":");
+        escape_into(name, &mut out);
+        let _ = write!(out, ",\"pid\":{pid},");
+        // Histogram::to_json renders `{"count":..,...}`; splice its
+        // body (everything past the opening brace) onto our prefix.
+        out.push_str(&h.to_json()[1..]);
+        out.push('\n');
+    }
+    out
+}
+
 #[derive(Default)]
 struct SpanStats {
     count: u64,
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
-    /// log2 histogram of durations: bucket i counts spans with
-    /// duration in [2^i, 2^(i+1)) microseconds (bucket 0 is < 2 µs).
-    buckets: [u64; 12],
+    /// Duration distribution; the summary table renders it through
+    /// [`Histogram::log2_us_cells`] so there is exactly one bucketing
+    /// implementation in the workspace.
+    hist: Histogram,
 }
 
 impl SpanStats {
@@ -211,15 +235,12 @@ impl SpanStats {
             self.min_ns = dur_ns;
         }
         self.max_ns = self.max_ns.max(dur_ns);
-        let us = dur_ns / 1_000;
-        let bucket = if us < 2 {
-            0
-        } else {
-            (63 - us.leading_zeros() as usize).min(self.buckets.len() - 1)
-        };
-        self.buckets[bucket] += 1;
+        self.hist.record(dur_ns);
     }
 }
+
+/// Width of the summary table's log2(µs) histogram column.
+const SUMMARY_CELLS: usize = 12;
 
 fn fmt_ns(ns: u64) -> String {
     if ns < 1_000 {
@@ -386,7 +407,8 @@ pub fn summary(events: &[Event]) -> String {
         for line in &agg.spans {
             let stats = &spans[&(line.category.as_str(), line.name.as_str())];
             let hist: String = stats
-                .buckets
+                .hist
+                .log2_us_cells(SUMMARY_CELLS)
                 .iter()
                 .map(|&b| match b {
                     0 => '.',
@@ -523,6 +545,21 @@ mod tests {
             vec![("spinlock_contended".to_string(), 7)]
         );
         assert!(counter_totals(&events, "mpc").is_empty());
+    }
+
+    #[test]
+    fn hist_jsonl_one_line_per_metric() {
+        let mut hists: BTreeMap<MetricKey, Histogram> = BTreeMap::new();
+        hists.entry(("net", "rtt")).or_default().record(1_000);
+        hists.entry(("shmem", "wait")).or_default().record_n(7, 3);
+        let text = hist_jsonl(&hists);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text
+            .lines()
+            .all(|l| l.starts_with("{\"kind\":\"hist\"") && l.ends_with('}')));
+        assert!(text.contains("\"cat\":\"net\",\"name\":\"rtt\""));
+        assert!(text.contains("\"count\":3"));
+        assert!(text.contains(&format!("[{},3]", crate::hist::bucket_index(7))));
     }
 
     #[test]

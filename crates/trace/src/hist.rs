@@ -1,0 +1,414 @@
+//! Fixed-precision percentile histograms.
+//!
+//! [`Histogram`] is the workspace's one value-distribution type: the
+//! summary exporter's per-span duration histogram, the runtimes'
+//! barrier-wait / mailbox-depth / RTT recorders, and `pdc-insight`'s
+//! cross-process percentile reports all share this bucketing.
+//!
+//! ## Bucketing
+//!
+//! HDR-style log-linear buckets: values below [`SUBBUCKETS`] are exact
+//! (one bucket per value); above that, each power-of-two octave is
+//! split into [`SUBBUCKETS`] linear sub-buckets, bounding the relative
+//! quantization error by `1 / SUBBUCKETS` (6.25%). Indexing is a pure
+//! function of the value — no configuration, no dynamic range to agree
+//! on — so histograms recorded by *different processes* merge by plain
+//! bucket-count addition. That mergeability is the point: the wire
+//! study's per-rank processes each export their own histograms, and the
+//! driver folds them into one distribution whose percentiles are exact
+//! over the union of samples (up to the fixed quantization).
+//!
+//! Percentiles are deterministic: bucket counts are integers, the
+//! representative value of a bucket is a fixed midpoint, and the walk
+//! is integer arithmetic — two processes that recorded the same values
+//! report byte-identical p50/p90/p99.
+
+use std::fmt::Write as _;
+
+/// Sub-buckets per power-of-two octave; also the exact-value threshold.
+pub const SUBBUCKETS: u64 = 16;
+const SUB_BITS: u32 = 4; // log2(SUBBUCKETS)
+
+/// Total bucket count: exact buckets `[0, SUBBUCKETS)` plus
+/// `SUBBUCKETS` linear sub-buckets for each octave up to `u64::MAX`.
+pub const BUCKETS: usize = (SUBBUCKETS as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a value. Total order preserving: `a <= b` implies
+/// `index(a) <= index(b)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros(); // v in [2^e, 2^(e+1))
+        let sub = (v >> (e - SUB_BITS)) - SUBBUCKETS; // top mantissa bits
+        (e - SUB_BITS + 1) as usize * SUBBUCKETS as usize + sub as usize
+    }
+}
+
+/// Smallest value landing in bucket `idx`.
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    if idx < SUBBUCKETS as usize {
+        idx as u64
+    } else {
+        let octave = idx / SUBBUCKETS as usize - 1; // 0-based above exact range
+        let sub = (idx % SUBBUCKETS as usize) as u64;
+        (SUBBUCKETS + sub) << octave
+    }
+}
+
+/// Width of bucket `idx` (1 for the exact range).
+#[inline]
+pub fn bucket_width(idx: usize) -> u64 {
+    if idx < SUBBUCKETS as usize {
+        1
+    } else {
+        1u64 << (idx / SUBBUCKETS as usize - 1)
+    }
+}
+
+/// Deterministic representative value for bucket `idx` (the midpoint;
+/// the exact value itself in the exact range).
+#[inline]
+pub fn bucket_mid(idx: usize) -> u64 {
+    bucket_low(idx).saturating_add(bucket_width(idx) / 2)
+}
+
+/// A mergeable fixed-precision value histogram. See the module docs.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>, // sparse in spirit, dense in memory (BUCKETS slots)
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("p50", &self.percentile(50.0))
+            .field("p99", &self.percentile(99.0))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record one value `n` times.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram in: afterwards `self` reports the union
+    /// of both sample sets. This is the cross-process merge — bucket
+    /// indexing is configuration-free, so plain addition is exact.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// The value at percentile `q` (0 < q <= 100): the representative
+    /// of the bucket holding the `ceil(q/100 * count)`-th smallest
+    /// sample, clamped to the observed `[min, max]` so quantization
+    /// never reports a value outside the recorded range. Returns 0 on
+    /// an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = target.min(self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                return bucket_mid(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 / p90 / p99 shorthand.
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        (
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+        )
+    }
+
+    /// Nonzero buckets as `(index, count)` pairs, ascending index —
+    /// the sparse wire form.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Rebuild from sparse `(index, count)` pairs (inverse of
+    /// [`Histogram::nonzero_buckets`] up to per-bucket value
+    /// quantization: min/max/sum are reconstructed from bucket
+    /// representatives).
+    pub fn from_buckets(pairs: &[(usize, u64)]) -> Self {
+        let mut h = Self::new();
+        for &(idx, c) in pairs {
+            if idx < BUCKETS {
+                h.record_n(bucket_mid(idx), c);
+            }
+        }
+        h
+    }
+
+    /// Coarse display cells for the summary table: cell `i` counts
+    /// values whose microsecond magnitude has log2 = `i` (cell 0 is
+    /// `< 2 µs`, the last cell absorbs everything larger). This is the
+    /// one place the old ad-hoc log2 table bucketing survives — as a
+    /// *view* of this histogram, not a second implementation.
+    pub fn log2_us_cells(&self, cells: usize) -> Vec<u64> {
+        let mut out = vec![0u64; cells];
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let us = bucket_mid(idx) / 1_000;
+            let cell = if us < 2 {
+                0
+            } else {
+                (63 - us.leading_zeros() as usize).min(cells - 1)
+            };
+            out[cell] += c;
+        }
+        out
+    }
+
+    /// Hand-rolled JSON object (this crate is dependency-free):
+    /// `{"count":..,"sum":..,"min":..,"max":..,"buckets":[[idx,count],..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.min(),
+            self.max
+        );
+        for (i, (idx, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{idx},{c}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_subbucket_threshold() {
+        for v in 0..SUBBUCKETS {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_low(idx), v);
+            assert_eq!(bucket_width(idx), 1);
+            assert_eq!(bucket_mid(idx), v);
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_bounded() {
+        let mut values: Vec<u64> = (0..60)
+            .flat_map(|shift| [0u64, 1, 7].map(|off| (1u64 << shift) + off))
+            .collect();
+        values.sort_unstable();
+        let mut last = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "v={v}");
+            assert!(idx < BUCKETS);
+            assert!(bucket_low(idx) <= v, "v={v} low={}", bucket_low(idx));
+            assert!(v < bucket_low(idx) + bucket_width(idx), "v={v}");
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [100u64, 1_000, 12_345, 1_000_000, 123_456_789] {
+            let mid = bucket_mid(bucket_index(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / SUBBUCKETS as f64 + 1e-12, "v={v} mid={mid}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1ms..1s in µs-ish units
+        }
+        let (p50, p90, p99) = h.quantiles();
+        let close = |got: u64, want: u64| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.08, "got {got}, want ~{want}");
+        };
+        close(p50, 500_000);
+        close(p90, 900_000);
+        close(p99, 990_000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.min(), 1_000);
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut all = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 0..500u64 {
+            let v = (i * 37) % 10_000 + 1;
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must equal recording everything once");
+        assert_eq!(a.quantiles(), all.quantiles());
+    }
+
+    #[test]
+    fn sparse_round_trip_preserves_percentiles() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 80, 900, 12_000, 12_000, 700_000] {
+            h.record(v);
+        }
+        let back = Histogram::from_buckets(&h.nonzero_buckets());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.nonzero_buckets(), h.nonzero_buckets());
+        // Quantiles agree up to the fixed quantization (min/max are
+        // reconstructed from bucket representatives, so the clamp in
+        // `percentile` can shift endpoints by one bucket's width).
+        for q in [50.0, 90.0, 99.0] {
+            let (got, want) = (back.percentile(q), h.percentile(q));
+            let err = (got as f64 - want as f64).abs() / want.max(1) as f64;
+            assert!(
+                err <= 1.0 / SUBBUCKETS as f64,
+                "q={q} got={got} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantiles(), (0, 0, 0));
+        assert_eq!((h.min(), h.max(), h.mean()), (0, 0, 0));
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn log2_cells_match_magnitudes() {
+        let mut h = Histogram::new();
+        h.record(500); // < 2µs -> cell 0
+        h.record(3_000); // 3µs -> cell 1
+        h.record(5_000_000); // 5000µs -> cell 12 capped
+        let cells = h.log2_us_cells(12);
+        assert_eq!(cells[0], 1);
+        assert_eq!(cells[1], 1);
+        assert_eq!(cells[11], 1);
+        assert_eq!(cells.iter().sum::<u64>(), 3);
+    }
+}

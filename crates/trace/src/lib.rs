@@ -40,11 +40,18 @@
 //! ```
 
 pub mod export;
+pub mod hist;
+
+pub use hist::Histogram;
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
+
+/// Key identifying one recorded metric: `(category, name)`.
+pub type MetricKey = (&'static str, &'static str);
 
 // ---------------------------------------------------------------------
 // Events
@@ -148,10 +155,20 @@ fn registry() -> &'static Mutex<RegistryInner> {
 struct RegistryInner {
     /// Buffers parked by exited threads (or drained from live ones).
     parked: Vec<Event>,
+    /// Histograms parked/flushed by threads, merged per metric.
+    parked_hists: BTreeMap<MetricKey, Histogram>,
     /// Labels registered for thread ids (`set_thread_label`).
     labels: Vec<(u32, String)>,
     /// Label for this whole process (`set_process_label`).
     process_label: Option<String>,
+}
+
+impl RegistryInner {
+    fn merge_hists(&mut self, hists: BTreeMap<MetricKey, Histogram>) {
+        for (key, h) in hists {
+            self.parked_hists.entry(key).or_default().merge(&h);
+        }
+    }
 }
 
 /// Turn tracing on. Events recorded while enabled stay buffered until
@@ -181,17 +198,17 @@ pub fn now_ns() -> u64 {
 struct ThreadBuffer {
     tid: u32,
     events: RefCell<Vec<Event>>,
+    hists: RefCell<BTreeMap<MetricKey, Histogram>>,
 }
 
 impl Drop for ThreadBuffer {
     fn drop(&mut self) {
         let events = std::mem::take(&mut *self.events.borrow_mut());
-        if !events.is_empty() {
-            registry()
-                .lock()
-                .expect("trace registry")
-                .parked
-                .extend(events);
+        let hists = std::mem::take(&mut *self.hists.borrow_mut());
+        if !events.is_empty() || !hists.is_empty() {
+            let mut reg = registry().lock().expect("trace registry");
+            reg.parked.extend(events);
+            reg.merge_hists(hists);
         }
     }
 }
@@ -200,6 +217,7 @@ thread_local! {
     static BUFFER: ThreadBuffer = ThreadBuffer {
         tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
         events: RefCell::new(Vec::new()),
+        hists: RefCell::new(BTreeMap::new()),
     };
 }
 
@@ -225,13 +243,16 @@ fn push(kind: EventKind, category: &'static str, name: &'static str, ts_ns: u64,
 /// at their join points; the destructor remains as a backstop for
 /// ad-hoc threads.
 pub fn flush_thread() {
-    let events = BUFFER.with(|buf| std::mem::take(&mut *buf.events.borrow_mut()));
-    if !events.is_empty() {
-        registry()
-            .lock()
-            .expect("trace registry")
-            .parked
-            .extend(events);
+    let (events, hists) = BUFFER.with(|buf| {
+        (
+            std::mem::take(&mut *buf.events.borrow_mut()),
+            std::mem::take(&mut *buf.hists.borrow_mut()),
+        )
+    });
+    if !events.is_empty() || !hists.is_empty() {
+        let mut reg = registry().lock().expect("trace registry");
+        reg.parked.extend(events);
+        reg.merge_hists(hists);
     }
 }
 
@@ -263,12 +284,31 @@ pub fn inject(events: Vec<Event>) {
         .extend(events);
 }
 
+/// Collect the histograms recorded so far (this thread's plus every
+/// flushed/parked thread's), merged per metric, and clear them. Worker
+/// threads must have called [`flush_thread`] (both runtimes do at their
+/// join points) for their histograms to be visible here.
+pub fn drain_histograms() -> BTreeMap<MetricKey, Histogram> {
+    let mut own = BUFFER.with(|buf| std::mem::take(&mut *buf.hists.borrow_mut()));
+    {
+        let mut reg = registry().lock().expect("trace registry");
+        for (key, h) in std::mem::take(&mut reg.parked_hists) {
+            own.entry(key).or_default().merge(&h);
+        }
+    }
+    own
+}
+
 /// Drop everything recorded so far, including parked buffers and
 /// thread labels. Intended for tests and for re-arming between runs.
 pub fn reset() {
-    BUFFER.with(|buf| buf.events.borrow_mut().clear());
+    BUFFER.with(|buf| {
+        buf.events.borrow_mut().clear();
+        buf.hists.borrow_mut().clear();
+    });
     let mut reg = registry().lock().expect("trace registry");
     reg.parked.clear();
+    reg.parked_hists.clear();
     reg.labels.clear();
     reg.process_label = None;
 }
@@ -320,6 +360,9 @@ pub struct SpanGuard {
     name: &'static str,
     args: Args,
     active: bool,
+    /// Also record the duration into the `(category, name)` histogram
+    /// (see [`span_hist`]).
+    to_hist: bool,
 }
 
 impl SpanGuard {
@@ -336,6 +379,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.active {
             let dur_ns = now_ns().saturating_sub(self.start_ns);
+            if self.to_hist {
+                hist(self.category, self.name, dur_ns);
+            }
             push(
                 EventKind::Span { dur_ns },
                 self.category,
@@ -357,6 +403,7 @@ pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
             name,
             args: Vec::new(),
             active: false,
+            to_hist: false,
         };
     }
     SpanGuard {
@@ -365,7 +412,18 @@ pub fn span(category: &'static str, name: &'static str) -> SpanGuard {
         name,
         args: Vec::new(),
         active: true,
+        to_hist: false,
     }
+}
+
+/// Open a span that *additionally* records its duration (nanoseconds)
+/// into the `(category, name)` [`Histogram`] on drop, so the metric
+/// gets both a timeline interval and a percentile distribution.
+#[inline]
+pub fn span_hist(category: &'static str, name: &'static str) -> SpanGuard {
+    let mut guard = span(category, name);
+    guard.to_hist = guard.active;
+    guard
 }
 
 /// Open a span with arguments attached up front.
@@ -415,6 +473,25 @@ pub fn gauge(category: &'static str, name: &'static str, value: f64) {
         now_ns(),
         Vec::new(),
     );
+}
+
+/// Record one sample into the `(category, name)` histogram — barrier
+/// waits, queue depths, RTTs. Unlike events, histogram samples are
+/// pre-aggregated per thread (fixed memory however many samples) and
+/// come back merged via [`drain_histograms`]; percentiles merged across
+/// threads or processes are exact over the union of samples.
+#[inline]
+pub fn hist(category: &'static str, name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    BUFFER.with(|buf| {
+        buf.hists
+            .borrow_mut()
+            .entry((category, name))
+            .or_default()
+            .record(value);
+    });
 }
 
 /// Run `f` with tracing enabled and hand back its result plus every
@@ -493,6 +570,44 @@ mod tests {
         // Three distinct worker thread ids.
         let tids: std::collections::BTreeSet<u32> = events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 3);
+    }
+
+    #[test]
+    fn histograms_record_flush_and_drain() {
+        let _g = GUARD.lock().unwrap();
+        reset();
+        enable();
+        hist("t", "rtt", 100);
+        hist("t", "rtt", 300);
+        {
+            let _s = span_hist("t", "wait");
+        }
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                hist("t", "rtt", 200);
+                flush_thread();
+            });
+        });
+        disable();
+        let hists = drain_histograms();
+        let rtt = &hists[&("t", "rtt")];
+        assert_eq!(rtt.count(), 3);
+        assert_eq!((rtt.min(), rtt.max()), (100, 300));
+        assert_eq!(hists[&("t", "wait")].count(), 1);
+        // Drained means gone: a second drain is empty.
+        assert!(drain_histograms().is_empty());
+        reset();
+    }
+
+    #[test]
+    fn disabled_hist_records_nothing() {
+        let _g = GUARD.lock().unwrap();
+        reset();
+        disable();
+        hist("t", "rtt", 5);
+        let _s = span_hist("t", "wait");
+        drop(_s);
+        assert!(drain_histograms().is_empty());
     }
 
     #[test]
